@@ -1,0 +1,90 @@
+// Command netmax-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	netmax-bench -list
+//	netmax-bench -exp fig8
+//	netmax-bench -exp tab2 -quick -seed 7
+//	netmax-bench -all -quick
+//	netmax-bench -exp fig12 -curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"netmax/internal/experiments"
+	"netmax/internal/trace"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to regenerate (see -list)")
+		list   = flag.Bool("list", false, "list available experiments")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced epochs/node counts for a fast pass")
+		seed   = flag.Int64("seed", 1, "random seed")
+		curves = flag.Bool("curves", false, "also print the raw figure series")
+		csvDir = flag.String("csv", "", "directory to write per-experiment curve CSVs into")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	runOne := func(id string) error {
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		if *curves {
+			res.WriteCurves(os.Stdout)
+		}
+		if *csvDir != "" && len(res.Curves) > 0 {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteCurvesCSV(f, res.Curves); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("curves written to %s\n", path)
+		}
+		fmt.Printf("(%s regenerated in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	switch {
+	case *all:
+		for _, r := range experiments.All() {
+			if err := runOne(r.ID); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		if err := runOne(*exp); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

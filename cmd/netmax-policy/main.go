@@ -1,0 +1,121 @@
+// Command netmax-policy runs the communication-policy generator
+// (Algorithm 3) standalone on an iteration-time matrix and prints the
+// resulting probabilities and spectral diagnostics. Useful for inspecting
+// what the Network Monitor would ship for a given network condition.
+//
+// Input is JSON on stdin or via -times:
+//
+//	{"alpha": 0.1, "times": [[0,1,9],[1,0,2],[9,2,0]]}
+//
+// Missing adjacency means fully connected.
+//
+//	echo '{"alpha":0.1,"times":[[0,1,9],[1,0,2],[9,2,0]]}' | netmax-policy
+//	netmax-policy -demo
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"netmax/internal/linalg"
+	"netmax/internal/policy"
+	"netmax/internal/simnet"
+)
+
+type input struct {
+	Alpha float64     `json:"alpha"`
+	Times [][]float64 `json:"times"`
+	Adj   [][]bool    `json:"adj,omitempty"`
+	K     int         `json:"outer_rounds,omitempty"`
+	R     int         `json:"inner_rounds,omitempty"`
+	Eps   float64     `json:"epsilon,omitempty"`
+}
+
+func main() {
+	var (
+		demo    = flag.Bool("demo", false, "run on the paper's Fig. 2 example instead of stdin")
+		jsonOut = flag.Bool("json", false, "emit the policy as JSON")
+	)
+	flag.Parse()
+
+	var in input
+	if *demo {
+		// Fig. 2 at time T2: node 3's links t(3,1)=9, t(3,2)=12, t(3,4)=12
+		// (5 nodes, other links fast).
+		in = input{Alpha: 0.1, Times: fig2Times()}
+	} else {
+		if err := json.NewDecoder(os.Stdin).Decode(&in); err != nil {
+			fmt.Fprintln(os.Stderr, "error: reading JSON input:", err)
+			os.Exit(1)
+		}
+	}
+	if in.Alpha <= 0 {
+		in.Alpha = 0.1
+	}
+	if in.Adj == nil {
+		in.Adj = simnet.FullyConnected(len(in.Times))
+	}
+
+	pol, err := policy.Generate(policy.Input{
+		Times: in.Times, Adj: in.Adj, Alpha: in.Alpha,
+		OuterRounds: in.K, InnerRounds: in.R, Epsilon: in.Eps,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pol); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("rho          = %.4f\n", pol.Rho)
+	fmt.Printf("lambda2      = %.6f\n", pol.Lambda2)
+	fmt.Printf("mean iter t  = %.4fs\n", pol.TBar)
+	fmt.Printf("predicted Tc = %.2fs\n", pol.TConvergence)
+	fmt.Println("policy matrix P (rows: workers; diagonal: skip-communication mass):")
+	for i, row := range pol.P {
+		fmt.Printf("  w%-2d:", i)
+		for _, v := range row {
+			fmt.Printf(" %6.3f", v)
+		}
+		fmt.Println()
+	}
+	y := policy.BuildY(pol.P, in.Times, in.Adj, in.Alpha, pol.Rho)
+	if y.IsDoublyStochastic(1e-6) {
+		fmt.Println("Y_P check    : doubly stochastic (Theorem 3 invariant holds)")
+	} else {
+		fmt.Println("Y_P check    : NOT doubly stochastic — inspect the input matrix")
+	}
+	if eig, err := linalg.SymmetricEigenvalues(y); err == nil {
+		fmt.Printf("Y_P spectrum : lambda1=%.6f lambda2=%.6f lambdaN=%.6f\n", eig[0], eig[1], eig[len(eig)-1])
+	}
+}
+
+// fig2Times builds a 5-node matrix shaped like the paper's Fig. 2 (T2):
+// node 2 (0-indexed) has one 9s link and two 12s links; everything else 1s.
+func fig2Times() [][]float64 {
+	m := 5
+	t := make([][]float64, m)
+	for i := range t {
+		t[i] = make([]float64, m)
+		for j := range t[i] {
+			if i != j {
+				t[i][j] = 1
+			}
+		}
+	}
+	set := func(i, j int, v float64) { t[i][j] = v; t[j][i] = v }
+	set(2, 0, 9)
+	set(2, 1, 12)
+	set(2, 3, 12)
+	return t
+}

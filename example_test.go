@@ -1,0 +1,55 @@
+package netmax_test
+
+import (
+	"fmt"
+
+	"netmax"
+	"netmax/internal/simnet"
+)
+
+// ExampleTrain trains NetMax on a small heterogeneous cluster. Virtual time
+// depends only on the seeds, so the output is deterministic.
+func ExampleTrain() {
+	train, test := netmax.Dataset(netmax.SynthMNIST, 1)
+	cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, 4, 4, 1)
+	r := netmax.Train(cfg, netmax.Options{})
+	fmt.Println("epochs:", r.Epochs)
+	fmt.Println("learned:", r.FinalAccuracy > 0.9)
+	// Output:
+	// epochs: 4
+	// learned: true
+}
+
+// ExampleGeneratePolicy shows Algorithm 3 preferring a fast link.
+func ExampleGeneratePolicy() {
+	// Worker 0 reaches worker 1 in 1s but worker 2 only in 10s.
+	times := [][]float64{
+		{0, 1, 10},
+		{1, 0, 1},
+		{10, 1, 0},
+	}
+	pol, err := netmax.GeneratePolicy(times, simnet.FullyConnected(3), 0.1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("fast neighbor preferred:", pol.P[0][1] > pol.P[0][2])
+	fmt.Println("policy converges:", pol.Lambda2 < 1)
+	// Output:
+	// fast neighbor preferred: true
+	// policy converges: true
+}
+
+// ExampleExperiment regenerates a paper figure programmatically.
+func ExampleExperiment() {
+	res, err := netmax.Experiment("fig3", 1, true)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("id:", res.ID)
+	fmt.Println("rows:", len(res.Rows))
+	// Output:
+	// id: fig3
+	// rows: 2
+}

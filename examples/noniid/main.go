@@ -1,0 +1,45 @@
+// Non-IID scenario (the paper's Section V-F / Fig. 18): eight workers train
+// MobileNet on MNIST where each worker is missing three digit classes
+// entirely (Table IV). Shows that NetMax's 1/p-weighted consensus keeps
+// information flowing from rarely-contacted peers, preserving accuracy.
+//
+//	go run ./examples/noniid
+package main
+
+import (
+	"fmt"
+
+	"netmax"
+	"netmax/internal/data"
+)
+
+func main() {
+	train, test := netmax.Dataset(netmax.SynthMNIST, 1)
+
+	mkCfg := func() *netmax.Config {
+		cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, 8, 25, 1)
+		// Table IV: workers on server 1 never see digits {0,1,x}; workers
+		// on server 2 never see {5,6,y}.
+		cfg.Part = data.LabelSkew(train, data.TableIVSkew(), 1)
+		cfg.Batch = 8
+		cfg.LR = 0.05
+		cfg.LRDecayEpoch = 0
+		return cfg
+	}
+
+	fmt.Println("Label skew (Table IV): lost labels per worker")
+	for w, lost := range data.TableIVSkew() {
+		fmt.Printf("  w%d: %v\n", w, lost)
+	}
+
+	fmt.Println("\nTraining on the non-IID partition, heterogeneous network...")
+	nm := netmax.Train(mkCfg(), netmax.Options{})
+	ad := netmax.TrainADPSGD(mkCfg())
+	ar := netmax.TrainAllreduce(mkCfg())
+
+	fmt.Printf("\n%-10s total=%8.1fs  acc=%5.2f%%\n", "NetMax", nm.TotalTime, 100*nm.FinalAccuracy)
+	fmt.Printf("%-10s total=%8.1fs  acc=%5.2f%%\n", "AD-PSGD", ad.TotalTime, 100*ad.FinalAccuracy)
+	fmt.Printf("%-10s total=%8.1fs  acc=%5.2f%%\n", "Allreduce", ar.TotalTime, 100*ar.FinalAccuracy)
+	fmt.Println("\n(The paper reports ~93% MNIST accuracy under this skew — well below")
+	fmt.Println(" the ~99% IID baseline — with NetMax fastest to converge.)")
+}

@@ -1,0 +1,351 @@
+// Package autograd implements a minimal reverse-mode automatic
+// differentiation engine on top of internal/tensor.
+//
+// The design is a dynamic tape: every operation on *Value records its parents
+// and a backward closure; Backward performs a topological sort from the loss
+// node and accumulates gradients. This is the same execution model the paper's
+// PyTorch substrate provides, built from scratch because no deep-learning
+// framework is available in the target environment (see DESIGN.md §2).
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"netmax/internal/tensor"
+)
+
+// Value is a node in the computation graph: a tensor plus (after Backward)
+// its gradient with respect to the final scalar output.
+type Value struct {
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	parents      []*Value
+	backward     func() // accumulates into parents' Grad using v.Grad
+	label        string
+}
+
+// NewLeaf wraps t as a graph leaf. If requiresGrad, Backward will populate
+// its Grad.
+func NewLeaf(t *tensor.Tensor, requiresGrad bool) *Value {
+	return &Value{Data: t, requiresGrad: requiresGrad, label: "leaf"}
+}
+
+// Constant wraps t as a leaf that does not require gradients.
+func Constant(t *tensor.Tensor) *Value { return NewLeaf(t, false) }
+
+// RequiresGrad reports whether gradients flow to this node.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+func newOp(label string, data *tensor.Tensor, parents ...*Value) *Value {
+	rg := false
+	for _, p := range parents {
+		if p.requiresGrad {
+			rg = true
+			break
+		}
+	}
+	return &Value{Data: data, requiresGrad: rg, parents: parents, label: label}
+}
+
+func (v *Value) ensureGrad() {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Shape...)
+	}
+}
+
+// accumulate adds g into p.Grad if p participates in the graph.
+func accumulate(p *Value, g *tensor.Tensor) {
+	if !p.requiresGrad {
+		return
+	}
+	p.ensureGrad()
+	p.Grad.AddInPlace(g)
+}
+
+// Add returns a + b.
+func Add(a, b *Value) *Value {
+	out := newOp("add", tensor.Add(a.Data, b.Data), a, b)
+	out.backward = func() {
+		accumulate(a, out.Grad)
+		accumulate(b, out.Grad)
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Value) *Value {
+	out := newOp("sub", tensor.Sub(a.Data, b.Data), a, b)
+	out.backward = func() {
+		accumulate(a, out.Grad)
+		accumulate(b, tensor.Scale(out.Grad, -1))
+	}
+	return out
+}
+
+// Mul returns the elementwise product a*b.
+func Mul(a, b *Value) *Value {
+	out := newOp("mul", tensor.Mul(a.Data, b.Data), a, b)
+	out.backward = func() {
+		accumulate(a, tensor.Mul(out.Grad, b.Data))
+		accumulate(b, tensor.Mul(out.Grad, a.Data))
+	}
+	return out
+}
+
+// Scale returns a*s for scalar s.
+func Scale(a *Value, s float64) *Value {
+	out := newOp("scale", tensor.Scale(a.Data, s), a)
+	out.backward = func() {
+		accumulate(a, tensor.Scale(out.Grad, s))
+	}
+	return out
+}
+
+// MatMul returns a@b for rank-2 values.
+func MatMul(a, b *Value) *Value {
+	out := newOp("matmul", tensor.MatMul(a.Data, b.Data), a, b)
+	out.backward = func() {
+		// dA = dOut @ B^T ; dB = A^T @ dOut
+		accumulate(a, tensor.MatMul(out.Grad, tensor.Transpose(b.Data)))
+		accumulate(b, tensor.MatMul(tensor.Transpose(a.Data), out.Grad))
+	}
+	return out
+}
+
+// AddRowVector adds a bias vector v to every row of rank-2 a.
+func AddRowVector(a, v *Value) *Value {
+	out := newOp("addrow", tensor.AddRowVector(a.Data, v.Data), a, v)
+	out.backward = func() {
+		accumulate(a, out.Grad)
+		accumulate(v, tensor.SumRows(out.Grad))
+	}
+	return out
+}
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(a *Value) *Value {
+	out := newOp("relu", tensor.Apply(a.Data, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	}), a)
+	out.backward = func() {
+		g := tensor.New(a.Data.Shape...)
+		for i, x := range a.Data.Data {
+			if x > 0 {
+				g.Data[i] = out.Grad.Data[i]
+			}
+		}
+		accumulate(a, g)
+	}
+	return out
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(a *Value) *Value {
+	out := newOp("tanh", tensor.Apply(a.Data, math.Tanh), a)
+	out.backward = func() {
+		g := tensor.New(a.Data.Shape...)
+		for i, y := range out.Data.Data {
+			g.Data[i] = out.Grad.Data[i] * (1 - y*y)
+		}
+		accumulate(a, g)
+	}
+	return out
+}
+
+// Mean returns the scalar mean of all elements as a 1-element value.
+func Mean(a *Value) *Value {
+	m := a.Data.Mean()
+	out := newOp("mean", tensor.FromSlice([]float64{m}, 1), a)
+	out.backward = func() {
+		n := float64(a.Data.Len())
+		g := tensor.Full(out.Grad.Data[0]/n, a.Data.Shape...)
+		accumulate(a, g)
+	}
+	return out
+}
+
+// SumSquares returns the scalar sum of squared elements (for L2 terms).
+func SumSquares(a *Value) *Value {
+	s := tensor.Dot(a.Data, a.Data)
+	out := newOp("sumsq", tensor.FromSlice([]float64{s}, 1), a)
+	out.backward = func() {
+		g := tensor.Scale(a.Data, 2*out.Grad.Data[0])
+		accumulate(a, g)
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of rank-2 logits
+// against integer class labels, with a numerically stable fused
+// softmax+log+NLL. It returns a scalar value.
+func SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
+	m, n := logits.Data.Shape[0], logits.Data.Shape[1]
+	if len(labels) != m {
+		panic(fmt.Sprintf("autograd: %d labels for %d rows", len(labels), m))
+	}
+	probs := tensor.New(m, n)
+	loss := 0.0
+	for i := 0; i < m; i++ {
+		row := logits.Data.Data[i*n : (i+1)*n]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		prow := probs.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			prow[j] = e
+			sum += e
+		}
+		for j := range prow {
+			prow[j] /= sum
+		}
+		p := prow[labels[i]]
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= math.Log(p)
+	}
+	loss /= float64(m)
+	out := newOp("softmax-xent", tensor.FromSlice([]float64{loss}, 1), logits)
+	out.backward = func() {
+		scale := out.Grad.Data[0] / float64(m)
+		g := tensor.New(m, n)
+		for i := 0; i < m; i++ {
+			prow := probs.Data[i*n : (i+1)*n]
+			grow := g.Data[i*n : (i+1)*n]
+			for j := range grow {
+				grow[j] = prow[j] * scale
+			}
+			grow[labels[i]] -= scale
+		}
+		accumulate(logits, g)
+	}
+	return out
+}
+
+// MSE returns mean squared error between prediction a and target t
+// (target receives no gradient).
+func MSE(a *Value, target *tensor.Tensor) *Value {
+	diff := tensor.Sub(a.Data, target)
+	loss := tensor.Dot(diff, diff) / float64(diff.Len())
+	out := newOp("mse", tensor.FromSlice([]float64{loss}, 1), a)
+	out.backward = func() {
+		scale := 2 * out.Grad.Data[0] / float64(diff.Len())
+		accumulate(a, tensor.Scale(diff, scale))
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 value.
+func Transpose2D(a *Value) *Value {
+	out := newOp("transpose", tensor.Transpose(a.Data), a)
+	out.backward = func() {
+		accumulate(a, tensor.Transpose(out.Grad))
+	}
+	return out
+}
+
+// Reshape reinterprets a value's data under a new shape with the same
+// element count; gradients flow back under the original shape.
+func Reshape(a *Value, shape ...int) *Value {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != a.Data.Len() {
+		panic(fmt.Sprintf("autograd: Reshape %v to %v", a.Data.Shape, shape))
+	}
+	out := newOp("reshape", tensor.FromSlice(append([]float64(nil), a.Data.Data...), shape...), a)
+	out.backward = func() {
+		g := tensor.FromSlice(append([]float64(nil), out.Grad.Data...), a.Data.Shape...)
+		accumulate(a, g)
+	}
+	return out
+}
+
+// Custom creates a node with a user-supplied backward function: given the
+// node's output gradient it must return one gradient tensor per parent (nil
+// entries are skipped). This is the extension point used by layers whose
+// backward pass is cheaper to write directly (im2col, pooling).
+func Custom(label string, data *tensor.Tensor, parents []*Value, back func(grad *tensor.Tensor, parents []*Value) []*tensor.Tensor) *Value {
+	out := newOp(label, data, parents...)
+	out.backward = func() {
+		grads := back(out.Grad, parents)
+		if len(grads) != len(parents) {
+			panic(fmt.Sprintf("autograd: Custom %q returned %d gradients for %d parents", label, len(grads), len(parents)))
+		}
+		for i, g := range grads {
+			if g != nil {
+				accumulate(parents[i], g)
+			}
+		}
+	}
+	return out
+}
+
+// Item returns the scalar payload of a 1-element value.
+func (v *Value) Item() float64 {
+	if v.Data.Len() != 1 {
+		panic("autograd: Item on non-scalar value")
+	}
+	return v.Data.Data[0]
+}
+
+// Backward runs reverse-mode autodiff from v, which must be scalar.
+// Gradients accumulate into every reachable node with RequiresGrad.
+func Backward(v *Value) {
+	if v.Data.Len() != 1 {
+		panic("autograd: Backward requires a scalar output")
+	}
+	// Topological order via iterative DFS.
+	order := make([]*Value, 0, 64)
+	visited := make(map[*Value]bool)
+	type frame struct {
+		node *Value
+		idx  int
+	}
+	stack := []frame{{v, 0}}
+	visited[v] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(f.node.parents) {
+			p := f.node.parents[f.idx]
+			f.idx++
+			if !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	// order is children-after-parents; walk it in reverse.
+	v.ensureGrad()
+	v.Grad.Data[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.requiresGrad && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// ZeroGrad clears the gradients of the given leaves.
+func ZeroGrad(leaves ...*Value) {
+	for _, l := range leaves {
+		if l.Grad != nil {
+			l.Grad.Zero()
+		}
+	}
+}

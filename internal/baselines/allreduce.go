@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"netmax/internal/engine"
+)
+
+// RunAllreduce trains with synchronous Allreduce-SGD [8]: every round all
+// workers compute gradients on their local batch, the gradients are averaged
+// with a ring allreduce, and everyone applies the same update. The round
+// time is the parallel compute time plus the ring time; because the ring is
+// a fixed cycle over all workers, a single slow link throttles every round —
+// the synchronization weakness Section I attributes to sync D-PSGD.
+func RunAllreduce(cfg *engine.Config) *engine.Result {
+	ws := cfg.Workers()
+	tr := engine.NewTracker(cfg, ws, "Allreduce-SGD")
+	vlen := ws[0].Model.VectorLen()
+	avg := make([]float64, vlen)
+	tmp := make([]float64, vlen)
+
+	now := 0.0
+	for !tr.Done() {
+		totalSamples := 0
+		for i := range avg {
+			avg[i] = 0
+		}
+		for _, w := range ws {
+			_, samples := w.GradOnly()
+			w.Model.GradVector(tmp)
+			// Weight by batch size so segment workers contribute
+			// proportionally (Section V-F).
+			for i := range avg {
+				avg[i] += tmp[i] * float64(samples)
+			}
+			totalSamples += samples
+		}
+		for i := range avg {
+			avg[i] /= float64(totalSamples)
+		}
+		for _, w := range ws {
+			w.ApplyGrad(avg)
+		}
+		comm := RingAllreduceTime(cfg, now)
+		tr.AddBytes(2 * int64(len(ws)-1) * cfg.Spec.ModelBytes())
+		now += cfg.MaxComputeSecs() + comm
+		for _, w := range ws {
+			tr.OnIteration(now, w.Batch, cfg.MaxComputeSecs(), comm)
+		}
+	}
+	return tr.Finish()
+}
+
+// RingAllreduceTime returns the duration of one ring allreduce of the model
+// over workers 0..M-1 at virtual time now: 2(M-1) pipeline steps each moving
+// bytes/M over the ring, bottlenecked by the slowest ring link.
+func RingAllreduceTime(cfg *engine.Config, now float64) float64 {
+	m := cfg.Net.Topo.M
+	if m < 2 {
+		return 0
+	}
+	bytes := cfg.Spec.ModelBytes()
+	minRate := cfg.Net.Rate(0, 1%m, now)
+	for i := 0; i < m; i++ {
+		j := (i + 1) % m
+		if r := cfg.Net.Rate(i, j, now); r < minRate {
+			minRate = r
+		}
+	}
+	chunk := float64(bytes) / float64(m)
+	return 2 * float64(m-1) * chunk / minRate
+}

@@ -1,0 +1,149 @@
+// Package baselines implements the decentralized and centralized training
+// approaches NetMax is compared against in the paper's evaluation:
+// AD-PSGD [11], GoSGD-style gossip [12], SAPS-PSGD [15], Allreduce-SGD [8],
+// Prague [14], and synchronous/asynchronous parameter servers [6, 7].
+// All run on the same discrete-event engine and simnet timing model as
+// NetMax, so every comparison isolates the algorithmic difference.
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"netmax/internal/engine"
+	"netmax/internal/policy"
+)
+
+// uniformAsync is the AD-PSGD / GoSGD behavior: uniform neighbor selection
+// over a (possibly sparsified) adjacency, fixed averaging weight 1/2, no
+// periodic control.
+type uniformAsync struct {
+	p [][]float64
+}
+
+func (u *uniformAsync) SelectPeer(i int, now float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for j, pj := range u.p[i] {
+		acc += pj
+		if r < acc {
+			return j
+		}
+	}
+	return i
+}
+
+func (u *uniformAsync) BlendCoef(i, j int) float64              { return 0.5 }
+func (u *uniformAsync) OnIterationEnd(i, j int, s, now float64) {}
+func (u *uniformAsync) Tick(now float64)                        {}
+
+// Symmetric marks the averaging as two-sided: AD-PSGD's atomic averaging
+// sets both endpoints to the midpoint [11].
+func (u *uniformAsync) Symmetric() bool { return true }
+
+// RunADPSGD trains with asynchronous decentralized parallel SGD [11]: each
+// worker repeatedly averages its model with one uniformly random neighbor.
+func RunADPSGD(cfg *engine.Config) *engine.Result {
+	b := &uniformAsync{p: policy.Uniform(cfg.Net.Topo.Adj)}
+	return engine.RunAsync(cfg, b, "AD-PSGD")
+}
+
+// RunGossip trains with GoSGD-style gossip [12]; operationally it is the
+// uniform pull-average loop, identical to AD-PSGD in this timing model.
+func RunGossip(cfg *engine.Config) *engine.Result {
+	b := &uniformAsync{p: policy.Uniform(cfg.Net.Topo.Adj)}
+	return engine.RunAsync(cfg, b, "Gossip")
+}
+
+// SAPSSubgraph builds SAPS-PSGD's static communication subgraph [15]: the
+// links that are fastest *at time zero*. Edges are added in descending
+// initial-rate order until the subgraph is connected and every node has
+// degree >= 2 (or its full degree, if smaller). Because the subgraph is
+// frozen, a link that later becomes slow keeps being used — the weakness
+// the paper's Fig. 2 discussion calls out.
+func SAPSSubgraph(cfg *engine.Config) [][]bool {
+	topo := cfg.Net.Topo
+	m := topo.M
+	type edge struct {
+		i, j int
+		rate float64
+	}
+	var edges []edge
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if topo.Adj[i][j] {
+				edges = append(edges, edge{i, j, cfg.Net.Rate(i, j, 0)})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].rate != edges[b].rate {
+			return edges[a].rate > edges[b].rate
+		}
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+	sub := make([][]bool, m)
+	for i := range sub {
+		sub[i] = make([]bool, m)
+	}
+	deg := make([]int, m)
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	components := m
+	for _, e := range edges {
+		needTree := find(e.i) != find(e.j)
+		needDeg := deg[e.i] < 2 || deg[e.j] < 2
+		if !needTree && !needDeg {
+			continue
+		}
+		sub[e.i][e.j] = true
+		sub[e.j][e.i] = true
+		deg[e.i]++
+		deg[e.j]++
+		if needTree {
+			parent[find(e.i)] = find(e.j)
+			components--
+		}
+	}
+	_ = components
+	return sub
+}
+
+// SAPSSparsity is the fraction of the model SAPS-PSGD transfers per pull:
+// the method's second ingredient (besides the static fast subgraph) is
+// model sparsification [15].
+const SAPSSparsity = 0.25
+
+// sapsAsync is uniform gossip on the static subgraph with sparsified
+// transfers: only SAPSSparsity of the model moves per pull, and the
+// averaging weight is scaled down accordingly (in expectation over the
+// transferred coordinates).
+type sapsAsync struct {
+	uniformAsync
+}
+
+func (s *sapsAsync) BlendCoef(i, j int) float64 { return 0.5 * SAPSSparsity }
+
+func (s *sapsAsync) TransferBytes(full int64) int64 {
+	return int64(float64(full) * SAPSSparsity)
+}
+
+// RunSAPS trains with SAPS-PSGD [15]: sparsified uniform gossip restricted
+// to the static initially-fast subgraph.
+func RunSAPS(cfg *engine.Config) *engine.Result {
+	b := &sapsAsync{uniformAsync{p: policy.Uniform(SAPSSubgraph(cfg))}}
+	return engine.RunAsync(cfg, b, "SAPS-PSGD")
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"netmax/internal/engine"
+	"netmax/internal/policy"
+)
+
+// dlionAsync implements a DLion-style behavior [24]: uniform neighbor
+// selection, but the amount of model transferred scales with the link's
+// current capacity — slow links carry a smaller partition of the model.
+// This keeps iteration times flat across links at the cost of exchanging
+// partial models, which the paper notes "may cause divergence of the
+// training" (Section VI); here the partial exchange shows up as slower
+// consensus.
+type dlionAsync struct {
+	cfg *engine.Config
+	p   [][]float64
+	// refRate is the rate that earns a full-model transfer; slower links
+	// transfer proportionally less, floored at minFraction.
+	refRate     float64
+	minFraction float64
+
+	// fraction of the model to blend on the current pull, set in
+	// SelectPeer (the engine calls SelectPeer then BlendCoef for the same
+	// iteration; the async loop is single-threaded).
+	curFraction float64
+}
+
+func (d *dlionAsync) SelectPeer(i int, now float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	j := i
+	for k, pk := range d.p[i] {
+		acc += pk
+		if r < acc {
+			j = k
+			break
+		}
+	}
+	if j != i {
+		frac := d.cfg.Net.Rate(i, j, now) / d.refRate
+		if frac > 1 {
+			frac = 1
+		}
+		if frac < d.minFraction {
+			frac = d.minFraction
+		}
+		d.curFraction = frac
+	}
+	return j
+}
+
+// BlendCoef scales the averaging weight by the transferred fraction: only
+// part of the model arrived, so only that share of the blend applies (in
+// expectation over the chosen partition).
+func (d *dlionAsync) BlendCoef(i, j int) float64 { return 0.5 * d.curFraction }
+
+func (d *dlionAsync) OnIterationEnd(i, j int, s, now float64) {}
+func (d *dlionAsync) Tick(now float64)                        {}
+
+// TransferBytes reports the partial-model size for the engine's byte and
+// timing accounting.
+func (d *dlionAsync) TransferBytes(full int64) int64 {
+	return int64(float64(full) * d.curFraction)
+}
+
+// RunDLion trains with the DLion-style capacity-proportional partial model
+// exchange.
+func RunDLion(cfg *engine.Config) *engine.Result {
+	b := &dlionAsync{
+		cfg:         cfg,
+		p:           policy.Uniform(cfg.Net.Topo.Adj),
+		refRate:     cfg.Net.IntraRate,
+		minFraction: 0.1,
+		curFraction: 1,
+	}
+	if b.refRate == 0 {
+		b.refRate = 1
+	}
+	return engine.RunAsync(cfg, b, "DLion")
+}

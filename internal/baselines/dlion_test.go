@@ -1,0 +1,53 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestDLionTrains(t *testing.T) {
+	r := RunDLion(hetConfig(4, 8, 3))
+	checkTrains(t, r, "DLion", 8)
+	if r.Algo != "DLion" {
+		t.Fatalf("algo = %q", r.Algo)
+	}
+}
+
+func TestDLionMovesFewerBytesThanADPSGD(t *testing.T) {
+	dl := RunDLion(hetConfig(8, 6, 5))
+	ad := RunADPSGD(hetConfig(8, 6, 5))
+	if dl.BytesSent >= ad.BytesSent {
+		t.Fatalf("DLion bytes %d should be below AD-PSGD %d (partial transfers)", dl.BytesSent, ad.BytesSent)
+	}
+}
+
+func TestDLionConvergesSlowerPerEpochThanADPSGD(t *testing.T) {
+	// The related-work critique: exchanging partial models slows consensus.
+	dl := RunDLion(hetConfig(8, 10, 7))
+	ad := RunADPSGD(hetConfig(8, 10, 7))
+	if dl.FinalLoss < ad.FinalLoss*0.5 {
+		t.Fatalf("DLion unexpectedly far ahead: %v vs %v", dl.FinalLoss, ad.FinalLoss)
+	}
+}
+
+func TestSAPSMovesFewerBytesThanADPSGD(t *testing.T) {
+	sp := RunSAPS(hetConfig(8, 6, 9))
+	ad := RunADPSGD(hetConfig(8, 6, 9))
+	if sp.BytesSent >= ad.BytesSent {
+		t.Fatalf("SAPS bytes %d should be far below AD-PSGD %d (sparsified transfers)", sp.BytesSent, ad.BytesSent)
+	}
+}
+
+func TestBytesSentAccounting(t *testing.T) {
+	r := RunADPSGD(hetConfig(4, 2, 11))
+	// Every non-self iteration moves one full model; bytes for in-flight
+	// iterations at shutdown are counted too, so allow up to one extra
+	// model per worker.
+	want := int64(r.GlobalSteps+4) * hetConfig(4, 1, 1).Spec.ModelBytes()
+	if r.BytesSent <= 0 || r.BytesSent > want {
+		t.Fatalf("BytesSent = %d, want in (0, %d]", r.BytesSent, want)
+	}
+	ar := RunAllreduce(hetConfig(4, 2, 11))
+	if ar.BytesSent <= 0 {
+		t.Fatal("allreduce bytes not recorded")
+	}
+}

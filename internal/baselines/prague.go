@@ -1,0 +1,131 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"netmax/internal/engine"
+)
+
+// PragueGroupSize is the partial-allreduce group size. Prague [14] draws
+// random groups each "iteration"; four is representative of its evaluation.
+const PragueGroupSize = 4
+
+// RunPrague trains with Prague-style partial allreduce [14]: the earliest
+// free workers form a group, locally step, then average their models with an
+// intra-group ring allreduce. Groups proceed independently (tolerating
+// stragglers), but concurrent groups share the inter-machine fabric, so each
+// machine-spanning group's transfer is stretched by the number of
+// simultaneously active machine-spanning groups — the congestion the paper
+// blames for Prague's high communication cost (Section V-B).
+func RunPrague(cfg *engine.Config) *engine.Result {
+	ws := cfg.Workers()
+	tr := engine.NewTracker(cfg, ws, "Prague")
+	m := len(ws)
+	g := PragueGroupSize
+	if g > m {
+		g = m
+	}
+	bytes := cfg.Spec.ModelBytes()
+	vlen := ws[0].Model.VectorLen()
+	mean := make([]float64, vlen)
+	tmp := make([]float64, vlen)
+	rng := rand.New(rand.NewSource(cfg.Seed + 777))
+
+	freeAt := make([]float64, m)
+	// Active machine-spanning group intervals for the contention model.
+	type interval struct{ start, end float64 }
+	var active []interval
+
+	spansMachines := func(members []int) bool {
+		mac := cfg.Net.Topo.Machine
+		for _, w := range members[1:] {
+			if mac[w] != mac[members[0]] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for !tr.Done() {
+		// Pick the g earliest-free workers; random tie-break keeps grouping
+		// random when many are free (Prague's randomized grouping).
+		order := make([]int, m)
+		for i := range order {
+			order[i] = i
+		}
+		rng.Shuffle(m, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		sort.SliceStable(order, func(a, b int) bool { return freeAt[order[a]] < freeAt[order[b]] })
+		members := order[:g]
+		start := 0.0
+		for _, w := range members {
+			if freeAt[w] > start {
+				start = freeAt[w]
+			}
+		}
+
+		// Local gradient steps.
+		samples := make([]int, g)
+		for k, w := range members {
+			_, s := ws[w].GradStep()
+			samples[k] = s
+		}
+		// Partial allreduce: group model average.
+		for i := range mean {
+			mean[i] = 0
+		}
+		for _, w := range members {
+			ws[w].Model.CopyVector(tmp)
+			for i := range mean {
+				mean[i] += tmp[i]
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(g)
+		}
+		for _, w := range members {
+			ws[w].Model.SetVector(mean)
+		}
+
+		// Timing: intra-group ring, slowest group link, stretched by the
+		// number of concurrently active machine-spanning groups.
+		minRate := cfg.Net.Rate(members[0], members[1], start)
+		for a := 0; a < g; a++ {
+			b := (a + 1) % g
+			if r := cfg.Net.Rate(members[a], members[b], start); r < minRate {
+				minRate = r
+			}
+		}
+		chunk := float64(bytes) / float64(g)
+		comm := 2 * float64(g-1) * chunk / minRate
+		groupComp := 0.0
+		for _, w := range members {
+			if c := cfg.ComputeSecs(w); c > groupComp {
+				groupComp = c
+			}
+		}
+		if spansMachines(members) {
+			contention := 1
+			keep := active[:0]
+			for _, iv := range active {
+				if iv.end > start {
+					keep = append(keep, iv)
+					contention++
+				}
+			}
+			active = keep
+			comm *= float64(contention)
+			active = append(active, interval{start: start, end: start + groupComp + comm})
+		}
+		tr.AddBytes(2 * int64(g-1) * int64(chunk))
+		end := start + groupComp + comm
+		for k, w := range members {
+			freeAt[w] = end
+			tr.OnIteration(end, samples[k], groupComp, comm)
+			if tr.Done() {
+				break
+			}
+		}
+	}
+	return tr.Finish()
+}

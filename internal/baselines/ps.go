@@ -1,0 +1,144 @@
+package baselines
+
+import (
+	"netmax/internal/engine"
+	"netmax/internal/nn"
+)
+
+// RunPSSync trains with a synchronous parameter server [6, 7]: per round,
+// every worker pushes its gradient to the PS (co-located with worker 0's
+// machine) and pulls the updated model back before anyone proceeds. All
+// transfers of a round share the PS's network interface, so the round's
+// communication time scales with the number of workers behind each link
+// class — the central-bottleneck weakness of C-PSGD (Section I).
+func RunPSSync(cfg *engine.Config) *engine.Result {
+	ws := cfg.Workers()
+	tr := engine.NewTracker(cfg, ws, "PS-syn")
+	bytes := cfg.Spec.ModelBytes()
+	vlen := ws[0].Model.VectorLen()
+	avg := make([]float64, vlen)
+	tmp := make([]float64, vlen)
+
+	// Link-class sharer counts: workers on the PS machine share the intra
+	// fabric; remote workers share the PS NIC.
+	psMachine := cfg.Net.Topo.Machine[0]
+	intra, inter := 0, 0
+	for _, mac := range cfg.Net.Topo.Machine {
+		if mac == psMachine {
+			intra++
+		} else {
+			inter++
+		}
+	}
+
+	now := 0.0
+	for !tr.Done() {
+		totalSamples := 0
+		for i := range avg {
+			avg[i] = 0
+		}
+		for _, w := range ws {
+			_, samples := w.GradOnly()
+			w.Model.GradVector(tmp)
+			for i := range avg {
+				avg[i] += tmp[i] * float64(samples)
+			}
+			totalSamples += samples
+		}
+		for i := range avg {
+			avg[i] /= float64(totalSamples)
+		}
+		for _, w := range ws {
+			w.ApplyGrad(avg)
+		}
+		comm := 0.0
+		for i := range ws {
+			sharers := inter
+			if cfg.Net.Topo.Machine[i] == psMachine {
+				sharers = intra
+			}
+			// Push gradient + pull model: 2x the model size.
+			if t := cfg.Net.PSTransferTime(i, 2*bytes, sharers); t > comm {
+				comm = t
+			}
+		}
+		tr.AddBytes(2 * int64(len(ws)) * bytes)
+		now += cfg.MaxComputeSecs() + comm
+		for _, w := range ws {
+			tr.OnIteration(now, w.Batch, cfg.MaxComputeSecs(), comm)
+		}
+	}
+	return tr.Finish()
+}
+
+// RunPSAsync trains with an asynchronous parameter server: each worker
+// independently pushes its gradient and pulls the fresh global model, with
+// no barrier. Workers near the PS iterate much faster, so the global model
+// over-represents their data — the convergence weakness Fig. 14(a) shows
+// under non-uniform partitioning.
+func RunPSAsync(cfg *engine.Config) *engine.Result {
+	ws := cfg.Workers()
+	tr := engine.NewTracker(cfg, ws, "PS-asyn")
+	bytes := cfg.Spec.ModelBytes()
+
+	// The PS holds the global model and the (single, shared) optimizer
+	// state, as in Project Adam-style servers.
+	dim := cfg.Part.Shards[0].Dim()
+	classes := cfg.Part.Shards[0].Classes
+	ps := cfg.Spec.Build(cfg.Seed, dim, classes)
+	// Server-side momentum would compound the (similar) gradients of all M
+	// workers into an effectively M/(1-momentum) times larger step and
+	// diverge; async parameter servers therefore apply updates with plain
+	// SGD. This also yields the paper's Fig. 14(a) shape: PS-asyn converges,
+	// but with the worst per-epoch rate.
+	psOpt := nn.NewSGD(cfg.LR)
+	psOpt.Momentum = 0
+	grad := make([]float64, ps.VectorLen())
+	global := make([]float64, ps.VectorLen())
+
+	// Active transfer end-times approximate PS-side contention: a transfer
+	// starting now shares the NIC with every still-active transfer.
+	var activeEnds []float64
+
+	var q engine.Queue
+	type pending struct {
+		samples    int
+		comp, comm float64
+	}
+	pend := make([]pending, len(ws))
+	for i := range ws {
+		q.Push(0, i)
+	}
+	for !tr.Done() && q.Len() > 0 {
+		now, i := q.Pop()
+		if p := pend[i]; p.samples > 0 {
+			tr.OnIteration(now, p.samples, p.comp, p.comm)
+			if tr.Done() {
+				break
+			}
+		}
+		w := ws[i]
+		_, samples := w.GradOnly()
+		w.Model.GradVector(grad)
+		ps.SetGradVector(grad)
+		psOpt.Step(ps)
+		ps.CopyVector(global)
+		w.Model.SetVector(global)
+
+		keep := activeEnds[:0]
+		for _, e := range activeEnds {
+			if e > now {
+				keep = append(keep, e)
+			}
+		}
+		activeEnds = keep
+		sharers := len(activeEnds) + 1
+		comm := cfg.Net.PSTransferTime(i, 2*bytes, sharers)
+		tr.AddBytes(2 * bytes)
+		iter := cfg.ComputeSecs(i) + comm
+		activeEnds = append(activeEnds, now+iter)
+		pend[i] = pending{samples: samples, comp: cfg.ComputeSecs(i), comm: comm}
+		q.Push(now+iter, i)
+	}
+	return tr.Finish()
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netmax/internal/baselines"
+	"netmax/internal/data"
+	"netmax/internal/engine"
+	"netmax/internal/nn"
+	"netmax/internal/simnet"
+)
+
+func hetConfig(workers, epochs int, seed int64) *engine.Config {
+	train, test := data.SynthMNIST.Generate(1)
+	idx := make([]int, 256)
+	for i := range idx {
+		idx[i] = i
+	}
+	topo := simnet.PaperCluster(workers)
+	return &engine.Config{
+		Spec:    nn.SimResNet18,
+		Part:    data.Uniform(train, workers, 1),
+		Eval:    train.Slice(idx),
+		Test:    test,
+		Net:     simnet.NewHeterogeneousPeriod(topo, seed, 1e6, 8),
+		LR:      0.1,
+		Batch:   16,
+		Epochs:  epochs,
+		Seed:    5,
+		Overlap: true,
+	}
+}
+
+func TestNetMaxTrains(t *testing.T) {
+	r := Run(hetConfig(4, 6, 3), Options{Ts: 2})
+	if r.Epochs != 6 {
+		t.Fatalf("epochs = %d", r.Epochs)
+	}
+	if r.FinalLoss >= r.Curve[0].Value {
+		t.Fatalf("loss did not decrease: %v -> %v", r.Curve[0].Value, r.FinalLoss)
+	}
+	if r.FinalAccuracy < 0.85 {
+		t.Fatalf("accuracy = %v", r.FinalAccuracy)
+	}
+}
+
+func TestNetMaxDeterministic(t *testing.T) {
+	a := Run(hetConfig(4, 3, 3), Options{Ts: 2})
+	b := Run(hetConfig(4, 3, 3), Options{Ts: 2})
+	if a.TotalTime != b.TotalTime || a.FinalLoss != b.FinalLoss {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", a.TotalTime, a.FinalLoss, b.TotalTime, b.FinalLoss)
+	}
+}
+
+func TestNetMaxRegeneratesPolicies(t *testing.T) {
+	b := newBehavior(hetConfig(4, 1, 3), Options{Ts: 2})
+	cfg := hetConfig(4, 8, 3)
+	engine.RunAsync(cfg, b, "NetMax")
+	if b.mon.Regenerations < 2 {
+		t.Fatalf("monitor regenerated only %d times over a multi-period run", b.mon.Regenerations)
+	}
+}
+
+func TestNetMaxFasterThanADPSGDHeterogeneous(t *testing.T) {
+	// The headline claim (Fig. 8): on a heterogeneous network NetMax's
+	// total training time beats AD-PSGD's for the same epoch count.
+	nm := Run(hetConfig(8, 12, 11), Options{Ts: 2})
+	ad := baselines.RunADPSGD(hetConfig(8, 12, 11))
+	if nm.TotalTime >= ad.TotalTime {
+		t.Fatalf("NetMax %vs not faster than AD-PSGD %vs", nm.TotalTime, ad.TotalTime)
+	}
+}
+
+func TestNetMaxCommCostBelowADPSGD(t *testing.T) {
+	// Fig. 5: NetMax's per-epoch communication cost is below AD-PSGD's.
+	nm := Run(hetConfig(8, 12, 13), Options{Ts: 2})
+	ad := baselines.RunADPSGD(hetConfig(8, 12, 13))
+	if nm.CommCostPerEpoch(8) >= ad.CommCostPerEpoch(8) {
+		t.Fatalf("NetMax comm %v >= AD-PSGD %v", nm.CommCostPerEpoch(8), ad.CommCostPerEpoch(8))
+	}
+	// Computation cost should be essentially identical (same model).
+	if math.Abs(nm.CompCostPerEpoch(8)-ad.CompCostPerEpoch(8)) > 0.3*ad.CompCostPerEpoch(8) {
+		t.Fatalf("comp costs diverge: %v vs %v", nm.CompCostPerEpoch(8), ad.CompCostPerEpoch(8))
+	}
+}
+
+func TestNetMaxHomogeneousMatchesADPSGD(t *testing.T) {
+	// Fig. 9: on a homogeneous network NetMax behaves like AD-PSGD (its
+	// policy approaches uniform), so epoch times should be close.
+	mk := func() *engine.Config {
+		cfg := hetConfig(8, 8, 1)
+		cfg.Net = simnet.NewHomogeneous(simnet.SingleMachine(8))
+		return cfg
+	}
+	nm := Run(mk(), Options{Ts: 2})
+	ad := baselines.RunADPSGD(mk())
+	ratio := nm.TotalTime / ad.TotalTime
+	if ratio > 1.5 || ratio < 0.5 {
+		t.Fatalf("homogeneous NetMax/AD-PSGD time ratio = %v, want ~1", ratio)
+	}
+}
+
+func TestUniformPolicyOptionDisablesAdaptation(t *testing.T) {
+	adaptive := Run(hetConfig(8, 10, 17), Options{Ts: 2})
+	uniform := Run(hetConfig(8, 10, 17), Options{Ts: 2, UniformPolicy: true})
+	// Fig. 7: adaptive probabilities are the main source of gain.
+	if adaptive.TotalTime >= uniform.TotalTime {
+		t.Fatalf("adaptive (%v) not faster than uniform (%v)", adaptive.TotalTime, uniform.TotalTime)
+	}
+}
+
+func TestADPSGDMonitorBetweenADPSGDAndNetMax(t *testing.T) {
+	// Fig. 15: AD-PSGD+Monitor is faster than plain AD-PSGD in time.
+	ext := RunADPSGDMonitor(hetConfig(8, 10, 19), Options{Ts: 2})
+	ad := baselines.RunADPSGD(hetConfig(8, 10, 19))
+	if ext.TotalTime >= ad.TotalTime {
+		t.Fatalf("AD-PSGD+Monitor (%v) not faster than AD-PSGD (%v)", ext.TotalTime, ad.TotalTime)
+	}
+	if ext.Algo != "AD-PSGD+Monitor" {
+		t.Fatalf("algo label = %q", ext.Algo)
+	}
+}
+
+func TestBlendCoefScalesInverselyWithProbability(t *testing.T) {
+	cfg := hetConfig(4, 1, 3)
+	b := newBehavior(cfg, Options{})
+	b.p = [][]float64{
+		{0, 0.8, 0.1, 0.1},
+		{0.8, 0, 0.1, 0.1},
+		{0.1, 0.1, 0, 0.8},
+		{0.1, 0.1, 0.8, 0},
+	}
+	cHigh := b.BlendCoef(0, 1) // frequently selected neighbor
+	cLow := b.BlendCoef(0, 2)  // rarely selected neighbor
+	if cLow <= cHigh {
+		t.Fatalf("low-probability neighbor should get larger weight: %v vs %v", cLow, cHigh)
+	}
+	// Exact ratio: c ∝ 1/p, so cLow/cHigh = 8 (unless clamped at 1).
+	if cLow < 1 && math.Abs(cLow/cHigh-8) > 1e-9 {
+		t.Fatalf("blend ratio = %v, want 8", cLow/cHigh)
+	}
+}
+
+func TestBlendCoefClamped(t *testing.T) {
+	cfg := hetConfig(4, 1, 3)
+	b := newBehavior(cfg, Options{})
+	b.rho = 1e6 // absurd rho must not produce a divergent blend
+	if c := b.BlendCoef(0, 1); c > 1 {
+		t.Fatalf("blend coefficient %v > 1", c)
+	}
+}
+
+func TestSelectPeerRespectsPolicySupport(t *testing.T) {
+	cfg := hetConfig(4, 1, 3)
+	b := newBehavior(cfg, Options{})
+	b.p = [][]float64{
+		{0, 1, 0, 0},
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	}
+	ws := cfg.Workers()
+	for k := 0; k < 100; k++ {
+		if j := b.SelectPeer(0, 0, ws[0].Rng); j != 1 {
+			t.Fatalf("selected %d with deterministic policy", j)
+		}
+	}
+}
+
+func TestFixedBlendOption(t *testing.T) {
+	cfg := hetConfig(4, 1, 3)
+	b := newBehavior(cfg, Options{FixedBlend: true})
+	if c := b.BlendCoef(0, 1); c != 0.5 {
+		t.Fatalf("fixed blend = %v, want 0.5", c)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	o.defaults()
+	if o.Ts != 120 || o.Beta != 0.5 || o.PolicyRounds != 10 || o.Epsilon != 1e-2 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestEMAUpdateRule(t *testing.T) {
+	cfg := hetConfig(4, 1, 3)
+	b := newBehavior(cfg, Options{Beta: 0.5})
+	b.OnIterationEnd(0, 1, 2.0, 0)
+	if b.ema[0][1] != 2.0 {
+		t.Fatalf("first observation should seed EMA, got %v", b.ema[0][1])
+	}
+	b.OnIterationEnd(0, 1, 4.0, 1)
+	if math.Abs(b.ema[0][1]-3.0) > 1e-12 {
+		t.Fatalf("EMA = %v, want 0.5*2 + 0.5*4 = 3", b.ema[0][1])
+	}
+	b.OnIterationEnd(2, 2, 9.0, 2)
+	if b.ema[2][2] != 0 {
+		t.Fatal("self iteration should not touch EMA")
+	}
+}

@@ -1,0 +1,150 @@
+// Package data generates the synthetic classification datasets and the data
+// partitionings used throughout the evaluation.
+//
+// The paper trains on MNIST, CIFAR10/100, Tiny-ImageNet and ImageNet. Those
+// datasets are not available in this environment, so each is substituted by a
+// deterministic synthetic Gaussian-cluster dataset with the same number of
+// classes and a feature dimensionality scaled to keep single-CPU training
+// tractable (DESIGN.md §2). The learning dynamics that matter for the
+// evaluation — a non-trivial loss surface, stochastic gradients, sensitivity
+// to data skew — are preserved.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netmax/internal/tensor"
+)
+
+// Dataset is an in-memory labeled dataset.
+type Dataset struct {
+	Name    string
+	X       *tensor.Tensor // examples x features
+	Labels  []int
+	Classes int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int { return d.X.Cols() }
+
+// Slice returns a view dataset containing the examples at the given indices
+// (data is copied).
+func (d *Dataset) Slice(idx []int) *Dataset {
+	dim := d.Dim()
+	x := tensor.New(len(idx), dim)
+	labels := make([]int, len(idx))
+	for r, i := range idx {
+		copy(x.Data[r*dim:(r+1)*dim], d.X.Data[i*dim:(i+1)*dim])
+		labels[r] = d.Labels[i]
+	}
+	return &Dataset{Name: d.Name, X: x, Labels: labels, Classes: d.Classes}
+}
+
+// Batch copies rows [start, start+size) wrapping around the dataset.
+func (d *Dataset) Batch(start, size int) (*tensor.Tensor, []int) {
+	dim := d.Dim()
+	x := tensor.New(size, dim)
+	labels := make([]int, size)
+	n := d.Len()
+	for r := 0; r < size; r++ {
+		i := (start + r) % n
+		copy(x.Data[r*dim:(r+1)*dim], d.X.Data[i*dim:(i+1)*dim])
+		labels[r] = d.Labels[i]
+	}
+	return x, labels
+}
+
+// Spec describes a synthetic dataset family.
+type Spec struct {
+	Name       string
+	Classes    int
+	Dim        int
+	TrainSize  int
+	TestSize   int
+	ClusterStd float64 // noise around each class center; larger = harder task
+	// Sep scales the class-center spread: centers are drawn with
+	// per-coordinate std Sep/sqrt(Dim), so the expected distance between two
+	// class centers is ~Sep*sqrt(2) regardless of dimensionality. The
+	// Sep/ClusterStd ratio is calibrated per dataset so trained test
+	// accuracy lands near the paper's reported accuracy for that dataset
+	// (Tables II/V/VI).
+	Sep float64
+}
+
+// Specs mirroring the paper's five datasets. Sizes are scaled down ~100x to
+// stay single-CPU tractable while keeping class-count structure.
+var (
+	// SynthMNIST substitutes MNIST: 10 classes, easy (~99% accuracy).
+	SynthMNIST = Spec{Name: "MNIST", Classes: 10, Dim: 16, TrainSize: 2000, TestSize: 500, ClusterStd: 0.6, Sep: 4.0}
+	// SynthCIFAR10 substitutes CIFAR10: 10 classes, harder (~90%).
+	SynthCIFAR10 = Spec{Name: "CIFAR10", Classes: 10, Dim: 24, TrainSize: 2000, TestSize: 500, ClusterStd: 1.0, Sep: 3.3}
+	// SynthCIFAR100 substitutes CIFAR100: 100 classes (~72% ResNet18).
+	SynthCIFAR100 = Spec{Name: "CIFAR100", Classes: 100, Dim: 32, TrainSize: 4000, TestSize: 1000, ClusterStd: 0.9, Sep: 3.85}
+	// SynthTinyImageNet substitutes Tiny-ImageNet: 200 classes, few samples
+	// per class (~57%; the paper notes accuracy is limited by data scarcity).
+	SynthTinyImageNet = Spec{Name: "TinyImageNet", Classes: 200, Dim: 32, TrainSize: 5000, TestSize: 1000, ClusterStd: 1.1, Sep: 4.25}
+	// SynthImageNet substitutes ImageNet: 1000 classes (scaled to 100 here
+	// with the name kept for experiment labeling; full 1000-way softmax on
+	// one CPU is wasteful without changing any algorithmic behaviour). ~73%.
+	SynthImageNet = Spec{Name: "ImageNet", Classes: 100, Dim: 40, TrainSize: 6000, TestSize: 1000, ClusterStd: 1.0, Sep: 3.9}
+)
+
+// AllSpecs lists the dataset zoo.
+var AllSpecs = []Spec{SynthMNIST, SynthCIFAR10, SynthCIFAR100, SynthTinyImageNet, SynthImageNet}
+
+// SpecByName returns the dataset spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range AllSpecs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("data: unknown dataset spec %q", name)
+}
+
+// Generate materializes the train and test splits for a spec. Identical
+// seeds yield identical data.
+func (s Spec) Generate(seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	sep := s.Sep
+	if sep <= 0 {
+		sep = 4.0
+	}
+	centerStd := sep / math.Sqrt(float64(s.Dim))
+	centers := make([][]float64, s.Classes)
+	for c := range centers {
+		center := make([]float64, s.Dim)
+		for j := range center {
+			center[j] = rng.NormFloat64() * centerStd
+		}
+		centers[c] = center
+	}
+	gen := func(n int) *Dataset {
+		x := tensor.New(n, s.Dim)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % s.Classes
+			labels[i] = c
+			row := x.Data[i*s.Dim : (i+1)*s.Dim]
+			for j := range row {
+				row[j] = centers[c][j] + rng.NormFloat64()*s.ClusterStd
+			}
+		}
+		// Shuffle so sequential batches are class-mixed.
+		rng.Shuffle(n, func(a, b int) {
+			labels[a], labels[b] = labels[b], labels[a]
+			ra := x.Data[a*s.Dim : (a+1)*s.Dim]
+			rb := x.Data[b*s.Dim : (b+1)*s.Dim]
+			for j := range ra {
+				ra[j], rb[j] = rb[j], ra[j]
+			}
+		})
+		return &Dataset{Name: s.Name, X: x, Labels: labels, Classes: s.Classes}
+	}
+	return gen(s.TrainSize), gen(s.TestSize)
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"math/rand"
+)
+
+// AsyncBehavior parameterizes the shared asynchronous pull loop: NetMax,
+// AD-PSGD, GoSGD-style gossip, SAPS-PSGD and AD-PSGD+Monitor are all
+// "select a peer, pull its model, blend" algorithms that differ only in how
+// peers are selected, how the pulled model is weighted, and what periodic
+// control runs alongside.
+type AsyncBehavior interface {
+	// SelectPeer returns the peer worker i pulls from for the iteration
+	// starting at virtual time now. Returning i itself means "skip
+	// communication this iteration" (a policy may assign p_ii > 0).
+	SelectPeer(i int, now float64, rng *rand.Rand) int
+	// BlendCoef returns the coefficient c of the second-step update
+	// x_i ← (1-c)·x_i + c·x_j. For NetMax c = αρ(d_ij+d_ji)/(2 p_ij)
+	// (Algorithm 2 line 13); for AD-PSGD-style averaging c = 1/2.
+	BlendCoef(i, j int) float64
+	// OnIterationEnd reports the measured iteration time, which behaviors
+	// with a Network Monitor feed into their EMA time vectors
+	// (Algorithm 2 line 16).
+	OnIterationEnd(i, j int, iterSecs, now float64)
+	// Tick runs periodic control at virtual time now — the Network
+	// Monitor's policy regeneration (Algorithm 1). No-op for static
+	// behaviors.
+	Tick(now float64)
+}
+
+// SymmetricBlender is an optional AsyncBehavior refinement: when Symmetric
+// returns true, the blend is applied to BOTH endpoints (each moves toward
+// the midpoint with the blend coefficient), matching AD-PSGD's atomic
+// two-sided averaging [11]. One-sided behaviors (NetMax's Algorithm 2 pull)
+// leave the peer untouched.
+type SymmetricBlender interface {
+	Symmetric() bool
+}
+
+// PartialTransferrer is an optional AsyncBehavior refinement for methods
+// that send only part of the model per pull (DLion-style capacity-scaled
+// partitions): TransferBytes maps the full model size to the bytes actually
+// moved for the current iteration.
+type PartialTransferrer interface {
+	TransferBytes(full int64) int64
+}
+
+// RunAsync executes the asynchronous decentralized loop under cfg with the
+// given behavior, returning the aggregated result. Events are processed in
+// completion order on the virtual clock; each event atomically performs one
+// worker iteration (select peer, snapshot its model, local gradient step,
+// blend) and schedules the next completion.
+func RunAsync(cfg *Config, b AsyncBehavior, algo string) *Result {
+	ws := cfg.Workers()
+	tr := NewTracker(cfg, ws, algo)
+	bytes := cfg.Spec.ModelBytes()
+
+	var q Queue
+	// Pending bookkeeping per worker: costs of the iteration in flight.
+	type pending struct {
+		samples    int
+		comp, comm float64
+	}
+	pend := make([]pending, len(ws))
+	// Kick off: every worker starts its first iteration at t=0. The first
+	// pop therefore carries zero pending cost.
+	for i := range ws {
+		q.Push(0, i)
+	}
+	snapshot := make([]float64, ws[0].Model.VectorLen())
+	for !tr.Done() && q.Len() > 0 {
+		now, i := q.Pop()
+		// Flush the completed iteration's accounting.
+		if p := pend[i]; p.samples > 0 {
+			tr.OnIteration(now, p.samples, p.comp, p.comm)
+			if tr.Done() {
+				break
+			}
+		}
+		b.Tick(now)
+		w := ws[i]
+		j := b.SelectPeer(i, now, w.Rng)
+		_, samples := w.GradStep() // first update (local gradients)
+		if j != i {
+			ws[j].Model.CopyVector(snapshot) // pull x_j (freshest params)
+			coef := b.BlendCoef(i, j)
+			if sb, ok := b.(SymmetricBlender); ok && sb.Symmetric() {
+				// Two-sided atomic averaging: j also moves toward i's
+				// (pre-blend) model with the same coefficient.
+				own := w.Model.Vector()
+				w.Model.BlendVector(coef, snapshot)
+				ws[j].Model.BlendVector(coef, own)
+			} else {
+				w.Model.BlendVector(coef, snapshot)
+			}
+		}
+		moved := bytes
+		if pt, ok := b.(PartialTransferrer); ok {
+			moved = pt.TransferBytes(bytes)
+		}
+		if j != i {
+			tr.AddBytes(moved)
+		}
+		iterSecs := cfg.Net.IterationTime(i, j, moved, cfg.ComputeSecs(i), now, cfg.Overlap)
+		b.OnIterationEnd(i, j, iterSecs, now)
+		comp := cfg.ComputeSecs(i)
+		commCost := iterSecs - comp
+		if commCost < 0 {
+			commCost = 0
+		}
+		pend[i] = pending{samples: samples, comp: comp, comm: commCost}
+		q.Push(now+iterSecs, i)
+	}
+	return tr.Finish()
+}

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestComputeSecsDefault(t *testing.T) {
+	cfg := testConfig(4, 1)
+	for i := 0; i < 4; i++ {
+		if cfg.ComputeSecs(i) != cfg.Spec.ComputeSecs {
+			t.Fatalf("worker %d compute = %v", i, cfg.ComputeSecs(i))
+		}
+	}
+	if cfg.MaxComputeSecs() != cfg.Spec.ComputeSecs {
+		t.Fatalf("max compute = %v", cfg.MaxComputeSecs())
+	}
+}
+
+func TestComputeSecsStraggler(t *testing.T) {
+	cfg := testConfig(4, 1)
+	cfg.ComputeScale = []float64{1, 1, 5, 1}
+	if got := cfg.ComputeSecs(2); got != 5*cfg.Spec.ComputeSecs {
+		t.Fatalf("straggler compute = %v", got)
+	}
+	if got := cfg.ComputeSecs(0); got != cfg.Spec.ComputeSecs {
+		t.Fatalf("normal compute = %v", got)
+	}
+	if got := cfg.MaxComputeSecs(); got != 5*cfg.Spec.ComputeSecs {
+		t.Fatalf("max compute = %v", got)
+	}
+}
+
+func TestStragglerSlowsAsyncOnlyProportionally(t *testing.T) {
+	base := testConfig(4, 4)
+	r1 := RunAsync(base, &simpleBehavior{m: 4}, "u")
+
+	slow := testConfig(4, 4)
+	slow.ComputeScale = []float64{1, 1, 1, 8}
+	r2 := RunAsync(slow, &simpleBehavior{m: 4}, "u")
+
+	ratio := r2.TotalTime / r1.TotalTime
+	// Only a quarter of the sample stream is throttled: the run slows, but
+	// far less than 8x.
+	if ratio <= 1 {
+		t.Fatalf("straggler had no effect: %v", ratio)
+	}
+	if ratio > 4 {
+		t.Fatalf("async run slowed %vx, want graceful degradation well below 8x", ratio)
+	}
+}

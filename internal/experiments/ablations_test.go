@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblStragglerShape(t *testing.T) {
+	res := quick(t, "abl-straggler")
+	slowdown := func(algo string) float64 {
+		return cell(t, res, hasAlgo(algo), "slowdown")
+	}
+	// Barrier-synchronized approaches must pay more for the straggler than
+	// asynchronous ones.
+	if slowdown("Allreduce") <= slowdown("AD-PSGD") {
+		t.Errorf("Allreduce slowdown %v should exceed AD-PSGD %v", slowdown("Allreduce"), slowdown("AD-PSGD"))
+	}
+	if slowdown("D-PSGD") <= slowdown("NetMax") {
+		t.Errorf("D-PSGD slowdown %v should exceed NetMax %v", slowdown("D-PSGD"), slowdown("NetMax"))
+	}
+	// Prague's group scheme sits in between.
+	if s := slowdown("Prague"); s >= slowdown("Allreduce") {
+		t.Errorf("Prague slowdown %v should be below Allreduce %v", s, slowdown("Allreduce"))
+	}
+}
+
+func TestAblHopShape(t *testing.T) {
+	res := quick(t, "abl-hop")
+	tight := cell(t, res, hasAlgo("Hop (s=2)"), "total time (s)")
+	ad := cell(t, res, hasAlgo("AD-PSGD"), "total time (s)")
+	nm := cell(t, res, hasAlgo("NetMax"), "total time (s)")
+	if tight <= ad {
+		t.Errorf("tight staleness bound (%v) should be slower than unbounded AD-PSGD (%v)", tight, ad)
+	}
+	if nm >= ad {
+		t.Errorf("NetMax (%v) should beat AD-PSGD (%v) with a continuous slow link", nm, ad)
+	}
+}
+
+func TestAblDPSGDShape(t *testing.T) {
+	res := quick(t, "abl-dpsgd")
+	dp := cell(t, res, hasAlgo("D-PSGD"), "total time (s)")
+	nm := cell(t, res, hasAlgo("NetMax"), "total time (s)")
+	if nm >= dp {
+		t.Errorf("NetMax (%v) should beat sync D-PSGD (%v) on the heterogeneous cluster", nm, dp)
+	}
+}
+
+func TestAblSAPSRuns(t *testing.T) {
+	res := quick(t, "abl-saps")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// Structural check: SAPS degrades when rates shuffle.
+	var static, shuffled float64
+	for _, row := range res.Rows {
+		if row[1] != "SAPS-PSGD" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] == "static rates" {
+			static = v
+		} else {
+			shuffled = v
+		}
+	}
+	// The degradation itself only emerges at full scale (a quick run spans
+	// too few shuffle periods for the stale subgraph to be punished), so
+	// here we only require the shuffled run not to be implausibly fast.
+	if shuffled < 0.5*static {
+		t.Errorf("shuffled-rates run implausibly fast: static %v vs shuffled %v", static, shuffled)
+	}
+}

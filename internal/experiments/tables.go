@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netmax/internal/data"
+	"netmax/internal/nn"
+	"netmax/internal/simnet"
+)
+
+func init() {
+	register("tab2", "Test accuracy over a heterogeneous network (Table II)", runTab2)
+	register("tab3", "Test accuracy over a homogeneous network (Table III)", runTab3)
+}
+
+func accuracyTable(id, title string, nodeCounts []int, net func(int) func(int64) *simnet.Network, opt Options) (*Result, error) {
+	epochs := scaleEpochs(30, opt)
+	res := &Result{
+		ID:     id,
+		Title:  title,
+		Header: []string{"model", "nodes", "Prague", "Allreduce", "AD-PSGD", "NetMax"},
+	}
+	for _, spec := range []nn.ModelSpec{nn.SimResNet18, nn.SimVGG19} {
+		for _, n := range nodeCounts {
+			wl := buildWorkload(data.SynthCIFAR10, n, opt.Seed+1)
+			p := cfgParams{spec: spec, wl: wl, net: net(n), epochs: epochs, decayAt: epochs * 7 / 10, overlap: true, seed: opt.Seed + 3}
+			row := []string{spec.Name, fmt.Sprint(n)}
+			for _, a := range clusterAlgos() {
+				r := a.run(p.config(opt.Seed + 5))
+				row = append(row, pct(r.FinalAccuracy))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	res.Notes = append(res.Notes, "paper shape: all approaches within ~1 point; NetMax ties or slightly leads")
+	return res, nil
+}
+
+// runTab2 reproduces Table II: accuracy at 4/8/16 workers, heterogeneous.
+func runTab2(opt Options) (*Result, error) {
+	counts := []int{4, 8, 16}
+	if opt.Quick {
+		counts = []int{4, 8}
+	}
+	return accuracyTable("tab2", "Accuracy, heterogeneous network", counts, hetNet, opt)
+}
+
+// runTab3 reproduces Table III: accuracy at 4/6/8 workers, homogeneous.
+func runTab3(opt Options) (*Result, error) {
+	counts := []int{4, 6, 8}
+	if opt.Quick {
+		counts = []int{4, 8}
+	}
+	return accuracyTable("tab3", "Accuracy, homogeneous network", counts, homNet, opt)
+}

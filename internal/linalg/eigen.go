@@ -1,0 +1,163 @@
+// Package linalg provides the small dense linear-algebra routines the policy
+// generator needs: a symmetric eigen-solver (cyclic Jacobi) and spectral /
+// stochastic-matrix helpers used both by Algorithm 3 and by the tests that
+// verify the paper's Theorem 3 invariants.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64
+}
+
+// NewMatrix returns a zero n x n matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// IsSymmetric reports whether |m - mᵀ| <= tol elementwise.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsNonNegative reports whether every entry is >= -tol.
+func (m *Matrix) IsNonNegative(tol float64) bool {
+	for _, v := range m.Data {
+		if v < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDoublyStochastic reports whether all rows and columns sum to 1 within tol
+// and all entries are non-negative (Lemma 1 + Lemma 2 of the paper).
+func (m *Matrix) IsDoublyStochastic(tol float64) bool {
+	if !m.IsNonNegative(tol) {
+		return false
+	}
+	for i := 0; i < m.N; i++ {
+		rs, cs := 0.0, 0.0
+		for j := 0; j < m.N; j++ {
+			rs += m.At(i, j)
+			cs += m.At(j, i)
+		}
+		if math.Abs(rs-1) > tol || math.Abs(cs-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SymmetricEigenvalues computes all eigenvalues of a symmetric matrix using
+// the cyclic Jacobi rotation method. Returned eigenvalues are sorted in
+// descending order. The input is not modified.
+func SymmetricEigenvalues(m *Matrix) ([]float64, error) {
+	if !m.IsSymmetric(1e-9) {
+		return nil, fmt.Errorf("linalg: matrix is not symmetric")
+	}
+	n := m.N
+	a := m.Clone()
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(theta*theta+1))
+				} else {
+					t = -1 / (-theta + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation G(p,q,θ)ᵀ A G(p,q,θ).
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+			}
+		}
+	}
+	eig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = a.At(i, i)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(eig)))
+	return eig, nil
+}
+
+// SecondLargestEigenvalue returns λ₂ of a symmetric matrix.
+func SecondLargestEigenvalue(m *Matrix) (float64, error) {
+	eig, err := SymmetricEigenvalues(m)
+	if err != nil {
+		return 0, err
+	}
+	if len(eig) < 2 {
+		return 0, fmt.Errorf("linalg: need at least a 2x2 matrix, got %d", m.N)
+	}
+	return eig[1], nil
+}
+
+// MatVec returns m @ v.
+func (m *Matrix) MatVec(v []float64) []float64 {
+	if len(v) != m.N {
+		panic(fmt.Sprintf("linalg: MatVec length %d vs %d", len(v), m.N))
+	}
+	out := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		row := m.Data[i*m.N : (i+1)*m.N]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}

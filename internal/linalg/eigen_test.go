@@ -1,0 +1,230 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, -1)
+	m.Set(2, 2, 2)
+	eig, err := SymmetricEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-10 {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestEigenvalues2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewMatrix(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	eig, err := SymmetricEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-3) > 1e-10 || math.Abs(eig[1]-1) > 1e-10 {
+		t.Fatalf("eig = %v, want [3 1]", eig)
+	}
+}
+
+func TestEigenvaluesCompleteGraphGossip(t *testing.T) {
+	// W = (1-a)I + (a/n) 11ᵀ for n=4, a=0.4 has eigenvalues 1 and 1-a (x3).
+	n, a := 4, 0.4
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := a / float64(n)
+			if i == j {
+				v += 1 - a
+			}
+			m.Set(i, j, v)
+		}
+	}
+	eig, err := SymmetricEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-1) > 1e-10 {
+		t.Fatalf("λ1 = %v, want 1", eig[0])
+	}
+	for _, l := range eig[1:] {
+		if math.Abs(l-(1-a)) > 1e-10 {
+			t.Fatalf("λ = %v, want %v", l, 1-a)
+		}
+	}
+}
+
+func TestSecondLargestEigenvalue(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 5)
+	m.Set(1, 1, 7)
+	l2, err := SecondLargestEigenvalue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2-5) > 1e-12 {
+		t.Fatalf("λ2 = %v, want 5", l2)
+	}
+}
+
+func TestEigenNonSymmetricRejected(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 1)
+	if _, err := SymmetricEigenvalues(m); err == nil {
+		t.Fatal("expected error for non-symmetric input")
+	}
+}
+
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestEigenTraceAndFrobeniusInvariants(t *testing.T) {
+	// Property: sum(eig) == trace, sum(eig²) == ||A||F² for symmetric A.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := randomSymmetric(rng, n)
+		eig, err := SymmetricEigenvalues(m)
+		if err != nil {
+			return false
+		}
+		trace, frob := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += m.At(i, i)
+			for j := 0; j < n; j++ {
+				frob += m.At(i, j) * m.At(i, j)
+			}
+		}
+		se, se2 := 0.0, 0.0
+		for _, l := range eig {
+			se += l
+			se2 += l * l
+		}
+		return math.Abs(se-trace) < 1e-8 && math.Abs(se2-frob) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenSortedDescending(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomSymmetric(rng, 5)
+		eig, err := SymmetricEigenvalues(m)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(eig); i++ {
+			if eig[i] > eig[i-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsDoublyStochastic(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 0.25)
+	m.Set(0, 1, 0.75)
+	m.Set(1, 0, 0.75)
+	m.Set(1, 1, 0.25)
+	if !m.IsDoublyStochastic(1e-12) {
+		t.Fatal("expected doubly stochastic")
+	}
+	m.Set(0, 0, 0.3)
+	if m.IsDoublyStochastic(1e-12) {
+		t.Fatal("row sum broken but accepted")
+	}
+}
+
+func TestIsDoublyStochasticRejectsNegative(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1.5)
+	m.Set(0, 1, -0.5)
+	m.Set(1, 0, -0.5)
+	m.Set(1, 1, 1.5)
+	if m.IsDoublyStochastic(1e-12) {
+		t.Fatal("negative entries accepted")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got := m.MatVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MatVec = %v", got)
+	}
+}
+
+func TestStochasticMatrixTopEigenvalueIsOne(t *testing.T) {
+	// Property: a random symmetric doubly stochastic matrix (built by mixing
+	// permutation-free Birkhoff-like terms) has λ1 == 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		// Build W = c0*I + c1*(11ᵀ/n) + c2*C where C is a symmetric circulant
+		// doubly stochastic matrix; coefficients sum to 1.
+		c0 := rng.Float64()
+		c1 := rng.Float64() * (1 - c0)
+		c2 := 1 - c0 - c1
+		m := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := c1 / float64(n)
+				if i == j {
+					v += c0
+				}
+				if (i+1)%n == j || (j+1)%n == i {
+					v += c2 / 2
+				}
+				if n == 2 && (i+1)%n == j && (j+1)%n == i {
+					// both conditions coincide for n=2; handled implicitly
+					_ = v
+				}
+				m.Set(i, j, v)
+			}
+		}
+		if !m.IsSymmetric(1e-9) || !m.IsDoublyStochastic(1e-9) {
+			return true // construction degenerate; skip
+		}
+		eig, err := SymmetricEigenvalues(m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(eig[0]-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

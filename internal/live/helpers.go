@@ -1,0 +1,6 @@
+package live
+
+import "netmax/internal/autograd"
+
+// backward runs reverse-mode autodiff on a scalar loss.
+func backward(v *autograd.Value) { autograd.Backward(v) }

@@ -1,0 +1,285 @@
+// Package live runs NetMax as an actual concurrent process group — real
+// goroutine workers exchanging models over a Transport, a real Network
+// Monitor regenerating policies on a wall-clock timer — as opposed to the
+// discrete-event simulation in internal/engine. This is the deployment-
+// shaped half of the reproduction: the examples use the in-process
+// transport with injected latency, and cmd/netmax-live uses TCP.
+package live
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"netmax/internal/data"
+	"netmax/internal/monitor"
+	"netmax/internal/nn"
+	"netmax/internal/policy"
+	"netmax/internal/transport"
+)
+
+// Config describes a live NetMax group.
+type Config struct {
+	Spec  nn.ModelSpec
+	Part  *data.Partition
+	Test  *data.Dataset
+	LR    float64
+	Batch int
+	Seed  int64
+	// Ts is the monitor's wall-clock policy period.
+	Ts time.Duration
+	// Beta is the EMA smoothing factor.
+	Beta float64
+	// Duration bounds the run (wall clock); zero means rely on Iterations.
+	Duration time.Duration
+	// Iterations bounds per-worker iterations; zero means rely on Duration.
+	Iterations int
+	// Uniform disables the adaptive policy (AD-PSGD-style selection).
+	Uniform bool
+}
+
+// Stats summarizes a live run.
+type Stats struct {
+	// IterationsPerWorker counts completed iterations per worker.
+	IterationsPerWorker []int
+	// FinalAccuracy of the averaged model on the test set.
+	FinalAccuracy float64
+	// FinalLoss of the averaged model on the test set.
+	FinalLoss float64
+	// PolicyVersions is the number of policy broadcasts observed.
+	PolicyVersions int
+	// Elapsed wall time.
+	Elapsed time.Duration
+}
+
+// worker is one live training replica.
+type worker struct {
+	id    int
+	model *nn.Model
+	mu    sync.Mutex // guards model vector reads vs. local updates
+	opt   *nn.SGD
+	shard *data.Dataset
+	batch int
+	rng   *rand.Rand
+
+	p       [][]float64
+	rho     float64
+	version int
+	ema     []float64
+}
+
+func (w *worker) vector() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.model.Vector()
+}
+
+// Hub is the transport surface the live group needs; both
+// transport.LocalNet (in-process, injectable latency) and transport.TCPHub
+// (loopback sockets) satisfy it.
+type Hub interface {
+	Register(id int, src transport.ModelSource)
+	Peer(from, to int) transport.Peer
+	Monitor() transport.MonitorClient
+	SetPolicy(p [][]float64, rho float64)
+	OnReport(f func(from, to int, secs float64))
+}
+
+// Run executes the live group until the configured bound and returns stats.
+// The transport hub must be fresh; Run registers all workers on it.
+func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
+	m := len(cfg.Part.Shards)
+	adj := fullAdj(m)
+	dim := cfg.Part.Shards[0].Dim()
+	classes := cfg.Part.Shards[0].Classes
+
+	ts := cfg.Ts
+	if ts <= 0 {
+		ts = 500 * time.Millisecond
+	}
+	beta := cfg.Beta
+	if beta <= 0 || beta >= 1 {
+		beta = 0.5
+	}
+
+	mon := monitor.New(monitor.Config{Adj: adj, Alpha: cfg.LR, Period: ts.Seconds()})
+	hub.OnReport(func(from, to int, secs float64) { mon.Observe(from, to, secs) })
+
+	workers := make([]*worker, m)
+	for i := 0; i < m; i++ {
+		batch := cfg.Batch
+		if batch > cfg.Part.Shards[i].Len() {
+			batch = cfg.Part.Shards[i].Len()
+		}
+		w := &worker{
+			id:    i,
+			model: cfg.Spec.Build(cfg.Seed, dim, classes),
+			opt:   nn.NewSGD(cfg.LR),
+			shard: cfg.Part.Shards[i],
+			batch: batch,
+			rng:   rand.New(rand.NewSource(cfg.Seed*1000 + int64(i))),
+			p:     policy.Uniform(adj),
+			rho:   1 / (8 * cfg.LR * float64(m-1)),
+			ema:   make([]float64, m),
+		}
+		workers[i] = w
+		hub.Register(i, w.vector)
+	}
+
+	// Always derive a cancellable context: when the run is bounded by
+	// Iterations rather than Duration, the monitor goroutine must still be
+	// stopped once the workers finish.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if cfg.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	// Monitor loop: wall-clock periodic policy regeneration.
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		ticker := time.NewTicker(ts)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				if cfg.Uniform {
+					continue
+				}
+				if pol, ok := mon.MaybeRegenerate(time.Since(start).Seconds()); ok {
+					hub.SetPolicy(pol.P, pol.Rho)
+				}
+			}
+		}
+	}()
+
+	counts := make([]int, m)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			monClient := hub.Monitor()
+			for it := 0; cfg.Iterations == 0 || it < cfg.Iterations; it++ {
+				select {
+				case <-runCtx.Done():
+					return
+				default:
+				}
+				// Adopt a newer policy if one was broadcast.
+				if p, rho, v, err := monClient.FetchPolicy(); err == nil && v > w.version && p != nil {
+					w.p, w.rho, w.version = p, rho, v
+				}
+				j := samplePeer(w.p[w.id], w.id, w.rng)
+				iterStart := time.Now()
+				// Pull the neighbor's model concurrently with the local
+				// gradient step (Algorithm 2's overlap).
+				var pulled []float64
+				var pullErr error
+				done := make(chan struct{})
+				if j != w.id {
+					go func() {
+						pulled, pullErr = hub.Peer(w.id, j).PullModel()
+						close(done)
+					}()
+				} else {
+					close(done)
+				}
+				w.gradStep(it)
+				<-done
+				if j != w.id && pullErr == nil && pulled != nil {
+					coef := w.blendCoef(cfg.LR, j)
+					w.mu.Lock()
+					w.model.BlendVector(coef, pulled)
+					w.mu.Unlock()
+					secs := time.Since(iterStart).Seconds()
+					if w.ema[j] == 0 {
+						w.ema[j] = secs
+					} else {
+						w.ema[j] = beta*w.ema[j] + (1-beta)*secs
+					}
+					_ = monClient.ReportTime(w.id, j, w.ema[j])
+				}
+				counts[w.id]++ // safe: one writer per index
+			}
+		}(w)
+	}
+	wg.Wait()
+	cancel()
+	<-monDone
+
+	// Final consensus model: elementwise mean.
+	avg := cfg.Spec.Build(cfg.Seed, dim, classes)
+	vec := make([]float64, avg.VectorLen())
+	tmp := make([]float64, avg.VectorLen())
+	for _, w := range workers {
+		copy(tmp, w.vector())
+		for i := range vec {
+			vec[i] += tmp[i]
+		}
+	}
+	for i := range vec {
+		vec[i] /= float64(m)
+	}
+	avg.SetVector(vec)
+	x, labels := cfg.Test.Batch(0, cfg.Test.Len())
+	_, _, version, _ := hub.Monitor().FetchPolicy()
+	return &Stats{
+		IterationsPerWorker: counts,
+		FinalAccuracy:       avg.Accuracy(x, labels),
+		FinalLoss:           avg.Loss(x, labels).Item(),
+		PolicyVersions:      version,
+		Elapsed:             time.Since(start),
+	}
+}
+
+func (w *worker) gradStep(it int) {
+	x, labels := w.shard.Batch(it*w.batch%w.shard.Len(), w.batch)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.model.ZeroGrad()
+	loss := w.model.Loss(x, labels)
+	backward(loss)
+	w.opt.Step(w.model)
+}
+
+func (w *worker) blendCoef(alpha float64, j int) float64 {
+	pij := w.p[w.id][j]
+	if pij <= 0 {
+		return 0
+	}
+	c := alpha * w.rho * 2 / (2 * pij)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+func samplePeer(row []float64, self int, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for j, pj := range row {
+		acc += pj
+		if r < acc {
+			return j
+		}
+	}
+	return self
+}
+
+func fullAdj(m int) [][]bool {
+	adj := make([][]bool, m)
+	for i := range adj {
+		adj[i] = make([]bool, m)
+		for j := range adj[i] {
+			adj[i][j] = i != j
+		}
+	}
+	return adj
+}

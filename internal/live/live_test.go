@@ -1,0 +1,118 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netmax/internal/data"
+	"netmax/internal/nn"
+	"netmax/internal/transport"
+)
+
+func liveConfig(workers, iters int) Config {
+	train, test := data.SynthMNIST.Generate(1)
+	return Config{
+		Spec:       nn.SimMobileNet,
+		Part:       data.Uniform(train, workers, 1),
+		Test:       test,
+		LR:         0.1,
+		Batch:      16,
+		Seed:       7,
+		Ts:         50 * time.Millisecond,
+		Iterations: iters,
+	}
+}
+
+func TestLiveGroupTrains(t *testing.T) {
+	hub := transport.NewLocalNet()
+	stats := Run(context.Background(), liveConfig(4, 150), hub)
+	if stats.FinalAccuracy < 0.85 {
+		t.Fatalf("live accuracy = %v, want >= 0.85", stats.FinalAccuracy)
+	}
+	for i, c := range stats.IterationsPerWorker {
+		if c != 150 {
+			t.Fatalf("worker %d did %d iterations, want 150", i, c)
+		}
+	}
+}
+
+func TestLiveGroupRegeneratesPolicy(t *testing.T) {
+	hub := transport.NewLocalNet()
+	// Inject strong latency asymmetry so the policy matters and iterations
+	// are slow enough for several monitor periods to pass.
+	hub.Latency = func(i, j int, _ time.Time) time.Duration {
+		if (i < 2) == (j < 2) {
+			return time.Millisecond
+		}
+		return 8 * time.Millisecond
+	}
+	cfg := liveConfig(4, 250)
+	cfg.Ts = 60 * time.Millisecond
+	stats := Run(context.Background(), cfg, hub)
+	if stats.PolicyVersions == 0 {
+		t.Fatal("monitor never published a policy")
+	}
+}
+
+func TestLiveGroupDurationBound(t *testing.T) {
+	hub := transport.NewLocalNet()
+	cfg := liveConfig(2, 0)
+	cfg.Duration = 300 * time.Millisecond
+	start := time.Now()
+	stats := Run(context.Background(), cfg, hub)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run overshot duration bound: %v", elapsed)
+	}
+	// Iteration progress within the bound depends on machine load (this
+	// test shares the CPU with the rest of the suite), so only report it.
+	t.Logf("iterations within %v: %v", cfg.Duration, stats.IterationsPerWorker)
+}
+
+func TestLiveGroupContextCancel(t *testing.T) {
+	hub := transport.NewLocalNet()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	cfg := liveConfig(2, 0) // unbounded iterations; relies on cancel
+	done := make(chan struct{})
+	go func() {
+		Run(ctx, cfg, hub)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on context cancellation")
+	}
+}
+
+func TestLiveGroupOverTCP(t *testing.T) {
+	hub, err := transport.NewTCPHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	cfg := liveConfig(3, 80)
+	stats := Run(context.Background(), cfg, hub)
+	if stats.FinalAccuracy < 0.8 {
+		t.Fatalf("TCP live accuracy = %v", stats.FinalAccuracy)
+	}
+	for i, c := range stats.IterationsPerWorker {
+		if c != 80 {
+			t.Fatalf("worker %d did %d iterations over TCP, want 80", i, c)
+		}
+	}
+}
+
+func TestLiveUniformMode(t *testing.T) {
+	hub := transport.NewLocalNet()
+	cfg := liveConfig(3, 60)
+	cfg.Uniform = true
+	stats := Run(context.Background(), cfg, hub)
+	if stats.PolicyVersions != 0 {
+		t.Fatalf("uniform mode published %d policies", stats.PolicyVersions)
+	}
+}

@@ -1,0 +1,262 @@
+// Package lp implements a small, self-contained two-phase primal simplex
+// solver for linear programs in the form
+//
+//	minimize    cᵀx
+//	subject to  Aeq x  = beq
+//	            Aub x <= bub
+//	            x >= lower   (per-variable lower bounds)
+//
+// It exists because the communication-policy generator (Algorithm 3 of the
+// paper, Eq. 14) solves one linear program per worker row per candidate
+// (ρ, t̄) pair, and no external solver is available. Bland's rule is used for
+// pivot selection so the method cannot cycle.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a linear program. All rows of Aeq/Aub must have len(C) columns.
+// Lower may be nil (all zeros).
+type Problem struct {
+	C     []float64
+	Aeq   [][]float64
+	Beq   []float64
+	Aub   [][]float64
+	Bub   []float64
+	Lower []float64
+}
+
+// ErrInfeasible is returned when the constraint set is empty.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solve returns an optimal x and the objective value cᵀx.
+func Solve(p *Problem) ([]float64, float64, error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, 0, errors.New("lp: empty problem")
+	}
+	for _, row := range p.Aeq {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("lp: Aeq row has %d cols, want %d", len(row), n)
+		}
+	}
+	for _, row := range p.Aub {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("lp: Aub row has %d cols, want %d", len(row), n)
+		}
+	}
+	if len(p.Beq) != len(p.Aeq) || len(p.Bub) != len(p.Aub) {
+		return nil, 0, errors.New("lp: rhs length mismatch")
+	}
+
+	// Shift lower bounds: x = y + lower, y >= 0.
+	lower := p.Lower
+	if lower == nil {
+		lower = make([]float64, n)
+	} else if len(lower) != n {
+		return nil, 0, errors.New("lp: Lower length mismatch")
+	}
+
+	mEq, mUb := len(p.Aeq), len(p.Aub)
+	m := mEq + mUb
+	// Standard form: A y (+ slack) = b, y >= 0. Columns: n original + mUb slacks.
+	cols := n + mUb
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < mEq; i++ {
+		a[i] = make([]float64, cols)
+		copy(a[i], p.Aeq[i])
+		b[i] = p.Beq[i]
+		for j := 0; j < n; j++ {
+			b[i] -= p.Aeq[i][j] * lower[j]
+		}
+	}
+	for i := 0; i < mUb; i++ {
+		r := mEq + i
+		a[r] = make([]float64, cols)
+		copy(a[r], p.Aub[i])
+		a[r][n+i] = 1 // slack
+		b[r] = p.Bub[i]
+		for j := 0; j < n; j++ {
+			b[r] -= p.Aub[i][j] * lower[j]
+		}
+	}
+	// Make all b >= 0 by row negation (flips slack signs too, which is fine:
+	// the slack then acts as a surplus variable and phase 1 restores
+	// feasibility with an artificial).
+	for i := range a {
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+	}
+
+	c := make([]float64, cols)
+	copy(c, p.C)
+
+	y, err := twoPhase(a, b, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, n)
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		x[j] = y[j] + lower[j]
+		obj += p.C[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+// twoPhase solves min cᵀy s.t. Ay=b, y>=0, b>=0 via phase-1 artificials.
+func twoPhase(a [][]float64, b, c []float64) ([]float64, error) {
+	m := len(a)
+	if m == 0 {
+		// No constraints: the minimum is at y=0 unless some cost is
+		// negative, in which case the problem is unbounded below.
+		for _, cj := range c {
+			if cj < -eps {
+				return nil, ErrUnbounded
+			}
+		}
+		return make([]float64, len(c)), nil
+	}
+	n := len(a[0])
+
+	// Tableau with artificial variables appended: columns n..n+m-1.
+	total := n + m
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total+1)
+		copy(t[i], a[i])
+		t[i][n+i] = 1
+		t[i][total] = b[i]
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize sum of artificials.
+	phase1 := make([]float64, total)
+	for j := n; j < total; j++ {
+		phase1[j] = 1
+	}
+	if obj := simplexIterate(t, basis, phase1, total); obj > eps {
+		return nil, ErrInfeasible
+	}
+	// Drive remaining artificials out of the basis where possible.
+	for i, bj := range basis {
+		if bj >= n {
+			pivoted := false
+			for j := 0; j < n; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; harmless to leave (artificial stays at 0).
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: original objective; artificial columns are forbidden by
+	// giving them a huge cost (they are at value 0 and stay there).
+	phase2 := make([]float64, total)
+	copy(phase2, c)
+	for j := n; j < total; j++ {
+		phase2[j] = 1e18
+	}
+	obj := simplexIterate(t, basis, phase2, total)
+	if math.IsInf(obj, -1) {
+		return nil, ErrUnbounded
+	}
+	y := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			y[bj] = t[i][total]
+		}
+	}
+	return y, nil
+}
+
+// simplexIterate runs primal simplex with Bland's rule on tableau t with the
+// given objective, returning the final objective value (or -Inf if
+// unbounded). basis is updated in place.
+func simplexIterate(t [][]float64, basis []int, c []float64, rhsCol int) float64 {
+	m := len(t)
+	for iter := 0; iter < 10000; iter++ {
+		// Reduced costs: r_j = c_j - c_Bᵀ B⁻¹ A_j. The tableau is kept in
+		// canonical form, so r_j = c_j - Σ_i c_basis[i] * t[i][j].
+		entering := -1
+		for j := 0; j < rhsCol; j++ {
+			r := c[j]
+			for i := 0; i < m; i++ {
+				r -= c[basis[i]] * t[i][j]
+			}
+			if r < -eps {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering == -1 {
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				obj += c[basis[i]] * t[i][rhsCol]
+			}
+			return obj
+		}
+		// Ratio test with Bland tie-break on basis index.
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][entering] > eps {
+				ratio := t[i][rhsCol] / t[i][entering]
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return math.Inf(-1)
+		}
+		pivot(t, basis, leaving, entering, rhsCol)
+	}
+	// Iteration cap exceeded; treat current point as optimal enough.
+	obj := 0.0
+	for i := 0; i < m; i++ {
+		obj += c[basis[i]] * t[i][rhsCol]
+	}
+	return obj
+}
+
+func pivot(t [][]float64, basis []int, row, col, rhsCol int) {
+	pv := t[row][col]
+	for j := 0; j <= rhsCol; j++ {
+		t[row][j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= rhsCol; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

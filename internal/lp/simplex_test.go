@@ -1,0 +1,261 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleInequality(t *testing.T) {
+	// min -x - y  s.t. x + y <= 4, x <= 2, x,y >= 0 -> x=2, y=2, obj=-4
+	p := &Problem{
+		C:   []float64{-1, -1},
+		Aub: [][]float64{{1, 1}, {1, 0}},
+		Bub: []float64{4, 2},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj+4) > 1e-6 {
+		t.Fatalf("obj = %v, want -4 (x=%v)", obj, x)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x1 s.t. x1 + x2 = 1, x >= 0 -> x1=0, x2=1
+	p := &Problem{
+		C:   []float64{1, 0},
+		Aeq: [][]float64{{1, 1}},
+		Beq: []float64{1},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj) > 1e-8 || math.Abs(x[1]-1) > 1e-8 {
+		t.Fatalf("x = %v obj = %v", x, obj)
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	// min x1 + x2 s.t. x1 + x2 = 1, x1 >= 0.3, x2 >= 0.2
+	p := &Problem{
+		C:     []float64{2, 1},
+		Aeq:   [][]float64{{1, 1}},
+		Beq:   []float64{1},
+		Lower: []float64{0.3, 0.2},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: x1 at its lower bound 0.3, x2 = 0.7, obj = 1.3.
+	if math.Abs(x[0]-0.3) > 1e-8 || math.Abs(x[1]-0.7) > 1e-8 {
+		t.Fatalf("x = %v, want [0.3 0.7]", x)
+	}
+	if math.Abs(obj-1.3) > 1e-8 {
+		t.Fatalf("obj = %v, want 1.3", obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x1 = 2 with x1 <= 1 is infeasible.
+	p := &Problem{
+		C:   []float64{1},
+		Aeq: [][]float64{{1}},
+		Beq: []float64{2},
+		Aub: [][]float64{{1}},
+		Bub: []float64{1},
+	}
+	if _, _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleLowerBoundsVsSum(t *testing.T) {
+	// x1 + x2 = 1 with both lower bounds 0.6 is infeasible.
+	p := &Problem{
+		C:     []float64{1, 1},
+		Aeq:   [][]float64{{1, 1}},
+		Beq:   []float64{1},
+		Lower: []float64{0.6, 0.6},
+	}
+	if _, _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with no upper constraints.
+	p := &Problem{C: []float64{-1}}
+	if _, _, err := Solve(p); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -2  (i.e. x >= 2) -> x = 2.
+	p := &Problem{
+		C:   []float64{1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{-2},
+	}
+	x, _, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-8 {
+		t.Fatalf("x = %v, want 2", x)
+	}
+}
+
+func TestDegenerateTies(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	p := &Problem{
+		C:   []float64{-0.75, 150, -0.02, 6},
+		Aub: [][]float64{{0.25, -60, -0.04, 9}, {0.5, -90, -0.02, 3}, {0, 0, 1, 0}},
+		Bub: []float64{0, 0, 1},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj+0.05) > 1e-6 {
+		t.Fatalf("obj = %v (x=%v), want -0.05", obj, x)
+	}
+}
+
+func TestPolicyRowShapeLP(t *testing.T) {
+	// The exact LP shape used by the policy generator: one worker row with 3
+	// neighbors, latencies t = [1, 2, 10], floor f = 0.05 each; time budget
+	// sum(t_m p_m) = T; minimize self-probability p_self = 1 - sum(p_m)
+	// i.e. maximize sum p_m.
+	tm := []float64{1, 2, 10}
+	floor := 0.05
+	T := 1.5
+	p := &Problem{
+		C:     []float64{0, 0, 0, 1}, // minimize p_self
+		Aeq:   [][]float64{{tm[0], tm[1], tm[2], 0}, {1, 1, 1, 1}},
+		Beq:   []float64{T, 1},
+		Lower: []float64{floor, floor, floor, 0},
+	}
+	x, _, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility checks.
+	sum := x[0] + x[1] + x[2] + x[3]
+	if math.Abs(sum-1) > 1e-7 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	dot := tm[0]*x[0] + tm[1]*x[1] + tm[2]*x[2]
+	if math.Abs(dot-T) > 1e-7 {
+		t.Fatalf("time budget = %v, want %v", dot, T)
+	}
+	for i := 0; i < 3; i++ {
+		if x[i] < floor-1e-9 {
+			t.Fatalf("x[%d] = %v below floor", i, x[i])
+		}
+	}
+	// The fast neighbor should receive the bulk of the probability mass.
+	if x[0] < x[2] {
+		t.Fatalf("fast link prob %v < slow link prob %v", x[0], x[2])
+	}
+}
+
+func TestRandomFeasibilityProperty(t *testing.T) {
+	// Property: on random feasible problems, the solution satisfies all
+	// constraints within tolerance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		// Random point z >= 0 gives a guaranteed-feasible constraint set.
+		z := make([]float64, n)
+		for i := range z {
+			z[i] = rng.Float64() * 3
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		// One equality through z, two inequalities loose around z.
+		aeq := make([]float64, n)
+		beq := 0.0
+		for i := range aeq {
+			aeq[i] = rng.NormFloat64()
+			beq += aeq[i] * z[i]
+		}
+		aub := make([][]float64, 2)
+		bub := make([]float64, 2)
+		for k := range aub {
+			aub[k] = make([]float64, n)
+			dot := 0.0
+			for i := range aub[k] {
+				aub[k][i] = rng.NormFloat64()
+				dot += aub[k][i] * z[i]
+			}
+			bub[k] = dot + rng.Float64() // slack
+		}
+		// Bound the feasible region so the problem cannot be unbounded.
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		aub = append(aub, ones)
+		bub = append(bub, 100)
+
+		x, _, err := Solve(&Problem{C: c, Aeq: [][]float64{aeq}, Beq: []float64{beq}, Aub: aub, Bub: bub})
+		if err != nil {
+			return false
+		}
+		dotEq := 0.0
+		for i := range x {
+			if x[i] < -1e-7 {
+				return false
+			}
+			dotEq += aeq[i] * x[i]
+		}
+		if math.Abs(dotEq-beq) > 1e-6 {
+			return false
+		}
+		for k := range aub {
+			dot := 0.0
+			for i := range x {
+				dot += aub[k][i] * x[i]
+			}
+			if dot > bub[k]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalityAgainstVertexEnumeration2D(t *testing.T) {
+	// For 2-variable problems with box + one equality we can check by a fine
+	// grid that no feasible point beats the solver's objective.
+	p := &Problem{
+		C:     []float64{3, -1},
+		Aeq:   [][]float64{{1, 1}},
+		Beq:   []float64{1},
+		Lower: []float64{0.1, 0.1},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0.1; a <= 0.9; a += 0.001 {
+		b := 1 - a
+		if b < 0.1 {
+			continue
+		}
+		if v := 3*a - b; v < obj-1e-6 {
+			t.Fatalf("grid point (%v,%v) obj %v beats solver %v (x=%v)", a, b, v, obj, x)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package monitor implements the Network Monitor of Algorithm 1.
+//
+// The Monitor is the only central component of NetMax, and deliberately a
+// lightweight one: it never sees training data or model parameters — it
+// collects the per-link EMA iteration times maintained by the workers
+// (Algorithm 2's UPDATETIMEVECTOR), periodically regenerates the
+// communication policy with Algorithm 3, and ships (P, ρ) back. The same
+// monitor drives the AD-PSGD extension of Section III-D.
+package monitor
+
+import (
+	"sync"
+
+	"netmax/internal/policy"
+)
+
+// Config holds the Monitor's tuning knobs.
+type Config struct {
+	// Adj is the communication graph.
+	Adj [][]bool
+	// Alpha is the workers' learning rate (needed for the Eq. 11 floors).
+	Alpha float64
+	// Period is Ts, the schedule period in (virtual) seconds. The paper
+	// uses 2 minutes; shorter values react faster to link changes.
+	Period float64
+	// OuterRounds/InnerRounds are Algorithm 3's grid sizes (default 10).
+	OuterRounds, InnerRounds int
+	// Epsilon is the convergence target of Eq. 9 (default 1e-2).
+	Epsilon float64
+	// AveragingBlend selects the Section III-D extension mode (fixed 1/2
+	// averaging weight) when generating policies.
+	AveragingBlend bool
+}
+
+// Monitor tracks link statistics and regenerates communication policies.
+type Monitor struct {
+	mu   sync.Mutex
+	cfg  Config
+	m    int
+	ema  [][]float64 // latest collected iteration-time matrix
+	last float64     // virtual time of last regeneration
+	ran  bool
+
+	// Regenerations counts successful policy computations (observability).
+	Regenerations int
+}
+
+// New creates a Monitor. Period must be positive.
+func New(cfg Config) *Monitor {
+	if cfg.Period <= 0 {
+		cfg.Period = 120 // the paper's Ts = 2 minutes
+	}
+	m := len(cfg.Adj)
+	ema := make([][]float64, m)
+	for i := range ema {
+		ema[i] = make([]float64, m)
+	}
+	return &Monitor{cfg: cfg, m: m, ema: ema}
+}
+
+// Observe ingests one measured iteration time for link (i, j). In the
+// distributed deployment this arrives with the periodic statistics pull; in
+// the simulator workers report as they finish iterations. The worker-side
+// EMA has already been applied, so the monitor just stores the latest value.
+func (mo *Monitor) Observe(i, j int, iterSecs float64) {
+	if i == j {
+		return
+	}
+	mo.mu.Lock()
+	mo.ema[i][j] = iterSecs
+	mo.mu.Unlock()
+}
+
+// Times returns a copy of the current iteration-time matrix with gaps
+// (never-observed links) filled pessimistically with the largest observed
+// time, so that policy generation can run before full coverage.
+func (mo *Monitor) Times() [][]float64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	maxT := 0.0
+	for i := range mo.ema {
+		for j := range mo.ema[i] {
+			if mo.ema[i][j] > maxT {
+				maxT = mo.ema[i][j]
+			}
+		}
+	}
+	out := make([][]float64, mo.m)
+	for i := range out {
+		out[i] = make([]float64, mo.m)
+		for j := range out[i] {
+			v := mo.ema[i][j]
+			if i != j && mo.cfg.Adj[i][j] && v == 0 {
+				v = maxT
+			}
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+// coverage reports whether every worker has reported at least one link
+// time, so that the first regeneration does not act on a single skewed
+// sample.
+func (mo *Monitor) coverage() bool {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	for i := range mo.ema {
+		seen := false
+		for j := range mo.ema[i] {
+			if mo.ema[i][j] > 0 {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			return false
+		}
+	}
+	return true
+}
+
+// MaybeRegenerate runs Algorithm 1's periodic body: if a full period has
+// elapsed since the last run (and any statistics exist), it recomputes the
+// policy and returns it with ok=true. Otherwise ok=false.
+func (mo *Monitor) MaybeRegenerate(now float64) (*policy.Policy, bool) {
+	mo.mu.Lock()
+	due := !mo.ran || now-mo.last >= mo.cfg.Period
+	mo.mu.Unlock()
+	if !due || !mo.coverage() {
+		return nil, false
+	}
+	pol, err := policy.Generate(policy.Input{
+		Times:          mo.Times(),
+		Adj:            mo.cfg.Adj,
+		Alpha:          mo.cfg.Alpha,
+		OuterRounds:    mo.cfg.OuterRounds,
+		InnerRounds:    mo.cfg.InnerRounds,
+		Epsilon:        mo.cfg.Epsilon,
+		AveragingBlend: mo.cfg.AveragingBlend,
+	})
+	mo.mu.Lock()
+	mo.last = now
+	mo.ran = true
+	mo.mu.Unlock()
+	if err != nil {
+		return nil, false
+	}
+	mo.mu.Lock()
+	mo.Regenerations++
+	mo.mu.Unlock()
+	return pol, true
+}

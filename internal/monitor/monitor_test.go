@@ -1,0 +1,116 @@
+package monitor
+
+import (
+	"testing"
+
+	"netmax/internal/simnet"
+)
+
+func fullTimes(m int, v float64) func(mo *Monitor) {
+	return func(mo *Monitor) {
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i != j {
+					mo.Observe(i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestNoRegenerationWithoutCoverage(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(4), Alpha: 0.1, Period: 10})
+	if _, ok := mo.MaybeRegenerate(0); ok {
+		t.Fatal("regenerated with no observations")
+	}
+	// Partial coverage: only node 0 reported.
+	mo.Observe(0, 1, 2.0)
+	if _, ok := mo.MaybeRegenerate(1); ok {
+		t.Fatal("regenerated before every worker reported")
+	}
+}
+
+func TestRegeneratesOnceCovered(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(4), Alpha: 0.1, Period: 10})
+	fullTimes(4, 2.0)(mo)
+	pol, ok := mo.MaybeRegenerate(0)
+	if !ok {
+		t.Fatal("expected regeneration")
+	}
+	if len(pol.P) != 4 {
+		t.Fatalf("policy size %d", len(pol.P))
+	}
+	if mo.Regenerations != 1 {
+		t.Fatalf("Regenerations = %d", mo.Regenerations)
+	}
+}
+
+func TestPeriodGate(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(4), Alpha: 0.1, Period: 10})
+	fullTimes(4, 2.0)(mo)
+	if _, ok := mo.MaybeRegenerate(0); !ok {
+		t.Fatal("first regeneration blocked")
+	}
+	if _, ok := mo.MaybeRegenerate(5); ok {
+		t.Fatal("regenerated before period elapsed")
+	}
+	if _, ok := mo.MaybeRegenerate(10); !ok {
+		t.Fatal("regeneration due at period boundary blocked")
+	}
+	if mo.Regenerations != 2 {
+		t.Fatalf("Regenerations = %d", mo.Regenerations)
+	}
+}
+
+func TestDefaultPeriodIsPaperTs(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(2), Alpha: 0.1})
+	if mo.cfg.Period != 120 {
+		t.Fatalf("default period = %v, want 120 (the paper's 2 minutes)", mo.cfg.Period)
+	}
+}
+
+func TestTimesFillsGapsPessimistically(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(3), Alpha: 0.1, Period: 10})
+	mo.Observe(0, 1, 1.0)
+	mo.Observe(1, 0, 1.0)
+	mo.Observe(2, 0, 9.0)
+	times := mo.Times()
+	// Unobserved edges take the max observed time (9).
+	if times[0][2] != 9 || times[1][2] != 9 {
+		t.Fatalf("gap fill wrong: %v", times)
+	}
+	if times[0][1] != 1 {
+		t.Fatalf("observed value overwritten: %v", times)
+	}
+	if times[0][0] != 0 {
+		t.Fatal("diagonal should stay zero")
+	}
+}
+
+func TestObserveSelfIgnored(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(2), Alpha: 0.1, Period: 10})
+	mo.Observe(1, 1, 5)
+	if mo.ema[1][1] != 0 {
+		t.Fatal("self observation stored")
+	}
+}
+
+func TestAdaptsToChangedTimes(t *testing.T) {
+	// After link (0,1) degrades, the regenerated policy should shift mass
+	// away from it.
+	mo := New(Config{Adj: simnet.FullyConnected(4), Alpha: 0.1, Period: 1})
+	fullTimes(4, 1.0)(mo)
+	pol1, ok := mo.MaybeRegenerate(0)
+	if !ok {
+		t.Fatal("first regeneration failed")
+	}
+	mo.Observe(0, 1, 50)
+	mo.Observe(1, 0, 50)
+	pol2, ok := mo.MaybeRegenerate(2)
+	if !ok {
+		t.Fatal("second regeneration failed")
+	}
+	if pol2.P[0][1] >= pol1.P[0][1] {
+		t.Fatalf("policy did not shift away from degraded link: %v -> %v", pol1.P[0][1], pol2.P[0][1])
+	}
+}

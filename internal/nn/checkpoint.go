@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpoint is a serializable snapshot of a model's parameters and its
+// optimizer state, allowing training to pause and resume — a standard
+// requirement for the long multi-day jobs the paper's Section V-A mentions.
+type Checkpoint struct {
+	// Params is the flat parameter vector.
+	Params []float64
+	// Velocity is the SGD momentum state, one slice per parameter tensor
+	// (nil if the optimizer has not stepped yet).
+	Velocity [][]float64
+	// LR is the optimizer's current learning rate (after any decay).
+	LR float64
+	// Momentum and WeightDecay reproduce the optimizer configuration.
+	Momentum    float64
+	WeightDecay float64
+}
+
+// Snapshot captures the model and optimizer into a Checkpoint.
+func Snapshot(m *Model, opt *SGD) *Checkpoint {
+	cp := &Checkpoint{
+		Params:      m.Vector(),
+		LR:          opt.LR,
+		Momentum:    opt.Momentum,
+		WeightDecay: opt.WeightDecay,
+	}
+	if opt.velocity != nil {
+		cp.Velocity = make([][]float64, len(opt.velocity))
+		for i, v := range opt.velocity {
+			cp.Velocity[i] = append([]float64(nil), v...)
+		}
+	}
+	return cp
+}
+
+// Restore loads a Checkpoint into the model and optimizer. The model must
+// have the same architecture (parameter layout) as the one snapshotted.
+func Restore(cp *Checkpoint, m *Model, opt *SGD) error {
+	if len(cp.Params) != m.VectorLen() {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model wants %d", len(cp.Params), m.VectorLen())
+	}
+	m.SetVector(cp.Params)
+	opt.LR = cp.LR
+	opt.Momentum = cp.Momentum
+	opt.WeightDecay = cp.WeightDecay
+	if cp.Velocity == nil {
+		opt.velocity = nil
+		return nil
+	}
+	params := m.Params()
+	if len(cp.Velocity) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d velocity tensors, model wants %d", len(cp.Velocity), len(params))
+	}
+	opt.velocity = make([][]float64, len(params))
+	for i, p := range params {
+		if len(cp.Velocity[i]) != p.Data.Len() {
+			return fmt.Errorf("nn: velocity tensor %d has %d entries, want %d", i, len(cp.Velocity[i]), p.Data.Len())
+		}
+		opt.velocity[i] = append([]float64(nil), cp.Velocity[i]...)
+	}
+	return nil
+}
+
+// Save writes the checkpoint with gob framing.
+func (cp *Checkpoint) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	return &cp, nil
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"netmax/internal/tensor"
+)
+
+func trainedModelAndOpt(t *testing.T, seed int64, steps int) (*Model, *SGD, *tensor.Tensor, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 32
+	x := tensor.Randn(rng, 1, n, 4)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	m := smallModel(seed)
+	opt := NewSGD(0.1)
+	for i := 0; i < steps; i++ {
+		m.ZeroGrad()
+		backwardScalar(m.Loss(x, labels))
+		opt.Step(m)
+	}
+	return m, opt, x, labels
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m, opt, _, _ := trainedModelAndOpt(t, 1, 10)
+	cp := Snapshot(m, opt)
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := smallModel(99)
+	opt2 := NewSGD(0.5)
+	if err := Restore(loaded, m2, opt2); err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := m.Vector(), m2.Vector()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("restored parameters differ")
+		}
+	}
+	if opt2.LR != opt.LR || opt2.Momentum != opt.Momentum || opt2.WeightDecay != opt.WeightDecay {
+		t.Fatalf("optimizer config not restored: %+v vs %+v", opt2, opt)
+	}
+}
+
+func TestCheckpointResumeContinuesIdentically(t *testing.T) {
+	// Train 20 steps straight vs 10 + checkpoint/restore + 10: identical.
+	mA, optA, xA, labelsA := trainedModelAndOpt(t, 7, 20)
+	_ = optA
+
+	mB, optB, _, _ := trainedModelAndOpt(t, 7, 10)
+	cp := Snapshot(mB, optB)
+	mC := smallModel(1234)
+	optC := NewSGD(0.9)
+	if err := Restore(cp, mC, optC); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mC.ZeroGrad()
+		backwardScalar(mC.Loss(xA, labelsA))
+		optC.Step(mC)
+	}
+	vA, vC := mA.Vector(), mC.Vector()
+	for i := range vA {
+		if vA[i] != vC[i] {
+			t.Fatalf("resumed training diverged at %d: %v vs %v", i, vA[i], vC[i])
+		}
+	}
+}
+
+func TestRestoreLayoutMismatch(t *testing.T) {
+	m, opt, _, _ := trainedModelAndOpt(t, 3, 2)
+	cp := Snapshot(m, opt)
+	rng := rand.New(rand.NewSource(4))
+	other := NewModel(NewLinear(rng, 2, 2))
+	if err := Restore(cp, other, NewSGD(0.1)); err == nil {
+		t.Fatal("expected layout mismatch error")
+	}
+}
+
+func TestSnapshotBeforeAnyStep(t *testing.T) {
+	m := smallModel(5)
+	opt := NewSGD(0.1)
+	cp := Snapshot(m, opt)
+	if cp.Velocity != nil {
+		t.Fatal("velocity should be nil before the first step")
+	}
+	m2 := smallModel(6)
+	if err := Restore(cp, m2, NewSGD(0.2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCheckpointBadInput(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

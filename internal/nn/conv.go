@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netmax/internal/autograd"
+	"netmax/internal/tensor"
+)
+
+// Conv1D is a one-dimensional convolution layer over feature vectors viewed
+// as (channels=1) sequences. The paper trains CNNs (ResNet/VGG/MobileNet);
+// the default zoo uses MLP stand-ins for single-CPU speed, but Conv1D lets
+// users build convolutional stand-ins on the same substrate (see
+// TestConvModelTrains and the ConvVariant helper).
+//
+// Input (batch, length) -> output (batch, filters*(length-kernel+1)) with
+// the filter responses flattened channel-major.
+type Conv1D struct {
+	Kernels *autograd.Value // (filters, kernel)
+	Bias    *autograd.Value // (filters)
+	Filters int
+	Kernel  int
+	length  int // input length, fixed at first use (checked thereafter)
+}
+
+// NewConv1D creates a Conv1D with He-style initialization.
+func NewConv1D(rng *rand.Rand, filters, kernel int) *Conv1D {
+	std := math.Sqrt(2.0 / float64(kernel))
+	return &Conv1D{
+		Kernels: autograd.NewLeaf(tensor.Randn(rng, std, filters, kernel), true),
+		Bias:    autograd.NewLeaf(tensor.New(filters), true),
+		Filters: filters,
+		Kernel:  kernel,
+	}
+}
+
+// OutLen returns the flattened output width for the given input length.
+func (c *Conv1D) OutLen(inLen int) int {
+	return c.Filters * (inLen - c.Kernel + 1)
+}
+
+// Forward applies the convolution via an im2col matmul so that gradients
+// flow through the existing autograd ops.
+func (c *Conv1D) Forward(x *autograd.Value) *autograd.Value {
+	batch, length := x.Data.Shape[0], x.Data.Shape[1]
+	if c.length == 0 {
+		c.length = length
+	} else if c.length != length {
+		panic(fmt.Sprintf("nn: Conv1D input length %d, want %d", length, c.length))
+	}
+	windows := length - c.Kernel + 1
+	if windows <= 0 {
+		panic(fmt.Sprintf("nn: Conv1D kernel %d exceeds input length %d", c.Kernel, length))
+	}
+	// im2col: (batch*windows, kernel) patch matrix. The patch matrix is a
+	// linear function of x, so its gradient is scattered back by a custom
+	// node below.
+	patches := im2col(x, c.Kernel)
+	// (batch*windows, kernel) @ (kernel, filters) -> (batch*windows, filters)
+	kt := autograd.Transpose2D(c.Kernels)
+	resp := autograd.AddRowVector(autograd.MatMul(patches, kt), c.Bias)
+	// Reshape to (batch, windows*filters): a free reinterpretation.
+	return autograd.Reshape(resp, batch, windows*c.Filters)
+}
+
+// Params returns the trainable leaves.
+func (c *Conv1D) Params() []*autograd.Value {
+	return []*autograd.Value{c.Kernels, c.Bias}
+}
+
+// im2col extracts sliding windows as rows, with gradient scatter-add.
+func im2col(x *autograd.Value, kernel int) *autograd.Value {
+	batch, length := x.Data.Shape[0], x.Data.Shape[1]
+	windows := length - kernel + 1
+	out := tensor.New(batch*windows, kernel)
+	for b := 0; b < batch; b++ {
+		row := x.Data.Data[b*length : (b+1)*length]
+		for w := 0; w < windows; w++ {
+			copy(out.Data[(b*windows+w)*kernel:(b*windows+w+1)*kernel], row[w:w+kernel])
+		}
+	}
+	return autograd.Custom("im2col", out, []*autograd.Value{x}, func(grad *tensor.Tensor, parents []*autograd.Value) []*tensor.Tensor {
+		g := tensor.New(batch, length)
+		for b := 0; b < batch; b++ {
+			for w := 0; w < windows; w++ {
+				src := grad.Data[(b*windows+w)*kernel : (b*windows+w+1)*kernel]
+				dst := g.Data[b*length : (b+1)*length]
+				for k := 0; k < kernel; k++ {
+					dst[w+k] += src[k]
+				}
+			}
+		}
+		return []*tensor.Tensor{g}
+	})
+}
+
+// MaxPool1D halves the feature width by taking pairwise maxima.
+type MaxPool1D struct{}
+
+// Forward pools adjacent pairs; odd trailing elements pass through.
+func (MaxPool1D) Forward(x *autograd.Value) *autograd.Value {
+	batch, length := x.Data.Shape[0], x.Data.Shape[1]
+	outLen := (length + 1) / 2
+	out := tensor.New(batch, outLen)
+	argmax := make([]int, batch*outLen)
+	for b := 0; b < batch; b++ {
+		for o := 0; o < outLen; o++ {
+			i := 2 * o
+			v := x.Data.At(b, i)
+			best := i
+			if i+1 < length && x.Data.At(b, i+1) > v {
+				v = x.Data.At(b, i+1)
+				best = i + 1
+			}
+			out.Set(b, o, v)
+			argmax[b*outLen+o] = best
+		}
+	}
+	return autograd.Custom("maxpool1d", out, []*autograd.Value{x}, func(grad *tensor.Tensor, parents []*autograd.Value) []*tensor.Tensor {
+		g := tensor.New(batch, length)
+		for b := 0; b < batch; b++ {
+			for o := 0; o < outLen; o++ {
+				g.Set(b, argmax[b*outLen+o], g.At(b, argmax[b*outLen+o])+grad.At(b, o))
+			}
+		}
+		return []*tensor.Tensor{g}
+	})
+}
+
+// Params returns nil: pooling has no parameters.
+func (MaxPool1D) Params() []*autograd.Value { return nil }
+
+// ConvVariant builds a small convolutional stand-in model: Conv1D + ReLU +
+// MaxPool + Linear head. It exercises the full CNN code path on the same
+// API as ModelSpec.Build.
+func ConvVariant(seed int64, inputDim, classes, filters, kernel int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	conv := NewConv1D(rng, filters, kernel)
+	convOut := conv.OutLen(inputDim)
+	pooledOut := (convOut + 1) / 2
+	return NewModel(
+		conv,
+		ReLU{},
+		MaxPool1D{},
+		NewLinear(rng, pooledOut, classes),
+	)
+}

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netmax/internal/autograd"
+	"netmax/internal/tensor"
+)
+
+func TestConv1DForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D(rng, 1, 2)
+	// Fix kernel to [1, -1], bias 0: output = x[i] - x[i+1]... (kernel dot window)
+	c.Kernels.Data.Data[0] = 1
+	c.Kernels.Data.Data[1] = -1
+	x := autograd.Constant(tensor.FromSlice([]float64{3, 1, 4, 1}, 1, 4))
+	out := c.Forward(x)
+	want := []float64{3*1 + 1*(-1), 1*1 + 4*(-1), 4*1 + 1*(-1)}
+	if out.Data.Len() != 3 {
+		t.Fatalf("out shape %v", out.Data.Shape)
+	}
+	for i, w := range want {
+		if math.Abs(out.Data.Data[i]-w) > 1e-12 {
+			t.Fatalf("out = %v, want %v", out.Data.Data, want)
+		}
+	}
+}
+
+func TestConv1DOutLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D(rng, 3, 4)
+	if got := c.OutLen(10); got != 3*7 {
+		t.Fatalf("OutLen = %d, want 21", got)
+	}
+}
+
+func TestConv1DGradientNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv1D(rng, 2, 3)
+	xt := tensor.Randn(rng, 1, 2, 5)
+	forward := func() float64 {
+		x := autograd.Constant(xt)
+		return meanOf(c.Forward(x))
+	}
+	x := autograd.NewLeaf(xt, true)
+	out := autograd.Mean(c.Forward(x))
+	autograd.Backward(out)
+	const h = 1e-6
+	for i := range c.Kernels.Data.Data {
+		orig := c.Kernels.Data.Data[i]
+		c.Kernels.Data.Data[i] = orig + h
+		fp := forward()
+		c.Kernels.Data.Data[i] = orig - h
+		fm := forward()
+		c.Kernels.Data.Data[i] = orig
+		want := (fp - fm) / (2 * h)
+		if math.Abs(c.Kernels.Grad.Data[i]-want) > 1e-5 {
+			t.Fatalf("kernel grad[%d] = %v, numerical %v", i, c.Kernels.Grad.Data[i], want)
+		}
+	}
+	// Input gradient via the im2col scatter.
+	for i := range xt.Data {
+		orig := xt.Data[i]
+		xt.Data[i] = orig + h
+		fp := forward()
+		xt.Data[i] = orig - h
+		fm := forward()
+		xt.Data[i] = orig
+		want := (fp - fm) / (2 * h)
+		if math.Abs(x.Grad.Data[i]-want) > 1e-5 {
+			t.Fatalf("input grad[%d] = %v, numerical %v", i, x.Grad.Data[i], want)
+		}
+	}
+}
+
+func meanOf(v *autograd.Value) float64 {
+	return v.Data.Mean()
+}
+
+func TestMaxPool1DForward(t *testing.T) {
+	x := autograd.Constant(tensor.FromSlice([]float64{1, 5, 2, 2, 9}, 1, 5))
+	out := MaxPool1D{}.Forward(x)
+	want := []float64{5, 2, 9}
+	for i, w := range want {
+		if out.Data.Data[i] != w {
+			t.Fatalf("pool = %v, want %v", out.Data.Data, want)
+		}
+	}
+}
+
+func TestMaxPool1DBackwardRoutesToArgmax(t *testing.T) {
+	xt := tensor.FromSlice([]float64{1, 5, 2, 2}, 1, 4)
+	x := autograd.NewLeaf(xt, true)
+	autograd.Backward(autograd.Mean(MaxPool1D{}.Forward(x)))
+	// Gradient must land on elements 1 (max of first pair) and on one of
+	// the tied second pair, nowhere else.
+	if x.Grad.Data[0] != 0 {
+		t.Fatalf("grad leaked to non-max element: %v", x.Grad.Data)
+	}
+	if x.Grad.Data[1] == 0 {
+		t.Fatalf("no grad at argmax: %v", x.Grad.Data)
+	}
+}
+
+func TestConvModelTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, dim, classes := 96, 12, 3
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, rng.NormFloat64()*0.4)
+		}
+		// Class-dependent bump at a class-specific offset: a pattern a
+		// convolution can pick up position-invariantly.
+		x.Set(i, c*3, x.At(i, c*3)+2)
+		x.Set(i, c*3+1, x.At(i, c*3+1)+2)
+	}
+	m := ConvVariant(7, dim, classes, 4, 3)
+	opt := NewSGD(0.05)
+	first := m.Loss(x, labels).Item()
+	for it := 0; it < 300; it++ {
+		m.ZeroGrad()
+		backwardScalar(m.Loss(x, labels))
+		opt.Step(m)
+	}
+	last := m.Loss(x, labels).Item()
+	if last > first*0.5 {
+		t.Fatalf("conv model failed to learn: %v -> %v", first, last)
+	}
+	if acc := m.Accuracy(x, labels); acc < 0.85 {
+		t.Fatalf("conv model accuracy = %v", acc)
+	}
+}
+
+func TestConvVariantVectorRoundTrip(t *testing.T) {
+	m := ConvVariant(5, 10, 4, 3, 3)
+	v := m.Vector()
+	m2 := ConvVariant(6, 10, 4, 3, 3)
+	m2.SetVector(v)
+	v2 := m2.Vector()
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatal("conv model vector round trip failed")
+		}
+	}
+}
+
+func TestConv1DLengthMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D(rng, 1, 2)
+	c.Forward(autograd.Constant(tensor.New(1, 6)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length change")
+		}
+	}()
+	c.Forward(autograd.Constant(tensor.New(1, 8)))
+}
+
+func TestReshapeRoundTrip(t *testing.T) {
+	xt := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := autograd.NewLeaf(xt, true)
+	r := autograd.Reshape(x, 3, 2)
+	if r.Data.Shape[0] != 3 || r.Data.Shape[1] != 2 {
+		t.Fatalf("shape = %v", r.Data.Shape)
+	}
+	autograd.Backward(autograd.Mean(r))
+	for _, g := range x.Grad.Data {
+		if math.Abs(g-1.0/6) > 1e-12 {
+			t.Fatalf("reshape grad = %v", x.Grad.Data)
+		}
+	}
+}
+
+func TestTranspose2DGrad(t *testing.T) {
+	xt := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := autograd.NewLeaf(xt, true)
+	autograd.Backward(autograd.Mean(autograd.Transpose2D(x)))
+	for _, g := range x.Grad.Data {
+		if math.Abs(g-1.0/6) > 1e-12 {
+			t.Fatalf("transpose grad = %v", x.Grad.Data)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package nn
+
+import "netmax/internal/autograd"
+
+// backwardScalar runs autograd.Backward; a tiny indirection so tests read
+// naturally.
+func backwardScalar(v *autograd.Value) { autograd.Backward(v) }

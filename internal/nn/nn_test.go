@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netmax/internal/tensor"
+)
+
+func smallModel(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	return NewModel(NewLinear(rng, 4, 8), ReLU{}, NewLinear(rng, 8, 3))
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	m := smallModel(1)
+	v := m.Vector()
+	if len(v) != m.VectorLen() {
+		t.Fatalf("Vector len %d, want %d", len(v), m.VectorLen())
+	}
+	m2 := smallModel(2)
+	m2.SetVector(v)
+	v2 := m2.Vector()
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestVectorLenMatchesLayers(t *testing.T) {
+	m := smallModel(1)
+	want := 4*8 + 8 + 8*3 + 3
+	if m.VectorLen() != want {
+		t.Fatalf("VectorLen = %d, want %d", m.VectorLen(), want)
+	}
+}
+
+func TestAXPYVector(t *testing.T) {
+	m := smallModel(3)
+	orig := m.Vector()
+	delta := make([]float64, m.VectorLen())
+	for i := range delta {
+		delta[i] = float64(i%5) - 2
+	}
+	m.AXPYVector(0.5, delta)
+	got := m.Vector()
+	for i := range got {
+		want := orig[i] + 0.5*delta[i]
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("AXPY wrong at %d: %v vs %v", i, got[i], want)
+		}
+	}
+}
+
+func TestAXPYVectorProperty(t *testing.T) {
+	// AXPY with s then -s restores the original vector.
+	f := func(seed int64, s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) > 1e6 {
+			return true
+		}
+		m := smallModel(seed)
+		orig := m.Vector()
+		rng := rand.New(rand.NewSource(seed + 1))
+		v := make([]float64, m.VectorLen())
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		m.AXPYVector(s, v)
+		m.AXPYVector(-s, v)
+		got := m.Vector()
+		for i := range got {
+			if math.Abs(got[i]-orig[i]) > 1e-8*(1+math.Abs(orig[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := SimResNet18.Build(7, 10, 10)
+	b := SimResNet18.Build(7, 10, 10)
+	va, vb := a.Vector(), b.Vector()
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("Build not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestZooOrdering(t *testing.T) {
+	// Paper's parameter counts: MobileNet < GoogLeNet < ResNet18 < ResNet50 < VGG19.
+	if !(SimMobileNet.RealParams < SimGoogLeNet.RealParams &&
+		SimGoogLeNet.RealParams < SimResNet18.RealParams &&
+		SimResNet18.RealParams < SimResNet50.RealParams &&
+		SimResNet50.RealParams < SimVGG19.RealParams) {
+		t.Fatal("zoo RealParams ordering does not match the paper")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("VGG19")
+	if err != nil || s.RealParams != 143_700_000 {
+		t.Fatalf("SpecByName(VGG19) = %+v, %v", s, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("expected error for unknown spec")
+	}
+}
+
+func TestModelBytes(t *testing.T) {
+	if SimMobileNet.ModelBytes() != 16_800_000 {
+		t.Fatalf("ModelBytes = %d", SimMobileNet.ModelBytes())
+	}
+}
+
+func TestLossDecreasesUnderSGD(t *testing.T) {
+	// Tiny separable problem: model must fit it quickly.
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	x := tensor.New(n, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.NormFloat64()*0.3)
+		}
+		x.Set(i, c, x.At(i, c)+2.0)
+	}
+	m := smallModel(11)
+	opt := NewSGD(0.1)
+	first := m.Loss(x, labels).Item()
+	for it := 0; it < 200; it++ {
+		m.ZeroGrad()
+		loss := m.Loss(x, labels)
+		backwardScalar(loss)
+		opt.Step(m)
+	}
+	last := m.Loss(x, labels).Item()
+	if last > first*0.5 {
+		t.Fatalf("SGD failed to reduce loss: %v -> %v", first, last)
+	}
+	if acc := m.Accuracy(x, labels); acc < 0.9 {
+		t.Fatalf("accuracy after training = %v, want >= 0.9", acc)
+	}
+}
+
+func TestGradVectorZerosWithoutBackward(t *testing.T) {
+	m := smallModel(9)
+	g := m.GradVector(make([]float64, m.VectorLen()))
+	for i, v := range g {
+		if v != 0 {
+			t.Fatalf("GradVector[%d] = %v before backward, want 0", i, v)
+		}
+	}
+}
+
+func TestSGDWeightDecayShrinksParams(t *testing.T) {
+	m := smallModel(13)
+	opt := &SGD{LR: 0.1, Momentum: 0, WeightDecay: 0.5}
+	before := m.Vector()
+	// No gradients: only weight decay acts... but Step skips params with nil
+	// Grad, so force a zero backward pass first.
+	x := tensor.New(2, 4)
+	labels := []int{0, 1}
+	m.ZeroGrad()
+	backwardScalar(m.Loss(x, labels))
+	m.ZeroGrad() // zero out the actual gradients, keep Grad tensors allocated
+	opt.Step(m)
+	after := m.Vector()
+	norm := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
+	if norm(after) >= norm(before) {
+		t.Fatalf("weight decay did not shrink params: %v -> %v", norm(before), norm(after))
+	}
+}
+
+func TestDecayLR(t *testing.T) {
+	opt := NewSGD(0.1)
+	opt.DecayLR(0.1)
+	if math.Abs(opt.LR-0.01) > 1e-15 {
+		t.Fatalf("LR = %v, want 0.01", opt.LR)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := smallModel(1)
+	if got := m.Accuracy(tensor.New(0, 4), nil); got != 0 {
+		t.Fatalf("Accuracy on empty = %v", got)
+	}
+}
+
+func TestSetVectorWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	smallModel(1).SetVector([]float64{1})
+}

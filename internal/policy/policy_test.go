@@ -1,0 +1,328 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netmax/internal/linalg"
+	"netmax/internal/simnet"
+)
+
+// hetTimes builds an iteration-time matrix with one fast and several slow
+// links per node, like Fig. 2 of the paper.
+func hetTimes(m int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([][]float64, m)
+	for i := range t {
+		t[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := 1.0 + rng.Float64()*11 // 1..12s spread
+			t[i][j] = v
+			t[j][i] = v
+		}
+	}
+	return t
+}
+
+func TestUniformPolicyRows(t *testing.T) {
+	adj := simnet.FullyConnected(5)
+	p := Uniform(adj)
+	if err := Validate(p, adj); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if p[i][i] != 0 {
+			t.Fatalf("uniform self prob = %v", p[i][i])
+		}
+		for j := range p[i] {
+			if i != j && math.Abs(p[i][j]-0.25) > 1e-12 {
+				t.Fatalf("uniform p[%d][%d] = %v, want 0.25", i, j, p[i][j])
+			}
+		}
+	}
+}
+
+func TestUniformPolicyIsolatedNode(t *testing.T) {
+	adj := make([][]bool, 2)
+	adj[0] = make([]bool, 2)
+	adj[1] = make([]bool, 2)
+	p := Uniform(adj)
+	if p[0][0] != 1 || p[1][1] != 1 {
+		t.Fatal("isolated nodes should self-select")
+	}
+}
+
+func TestAvgIterTimesEq2(t *testing.T) {
+	adj := simnet.FullyConnected(3)
+	times := [][]float64{{0, 1, 9}, {1, 0, 2}, {9, 2, 0}}
+	p := [][]float64{{0, 0.9, 0.1}, {0, 0.5, 0.5}, {0.2, 0.8, 0}}
+	got := AvgIterTimes(p, times, adj)
+	want := []float64{0.9*1 + 0.1*9, 0.5 * 2, 0.2*9 + 0.8*2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("t[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGlobalStepProbsEq3(t *testing.T) {
+	got := GlobalStepProbs([]float64{1, 2, 4})
+	// 1/t = 1, 0.5, 0.25; sum = 1.75
+	want := []float64{1 / 1.75, 0.5 / 1.75, 0.25 / 1.75}
+	sum := 0.0
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("p[%d] = %v, want %v", i, got[i], want[i])
+		}
+		sum += got[i]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func TestFeasibleRhoInterval(t *testing.T) {
+	lo, hi := FeasibleRhoInterval(0.1)
+	if lo != 0 || math.Abs(hi-5) > 1e-12 {
+		t.Fatalf("interval = (%v, %v], want (0, 5]", lo, hi)
+	}
+}
+
+func TestFeasibleTimeIntervalOrdering(t *testing.T) {
+	times := hetTimes(4, 1)
+	adj := simnet.FullyConnected(4)
+	lo, hi, err := FeasibleTimeInterval(times, adj, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= 0 || hi <= lo {
+		t.Fatalf("interval = [%v, %v]", lo, hi)
+	}
+}
+
+func TestGenerateProducesFeasiblePolicy(t *testing.T) {
+	m := 5
+	times := hetTimes(m, 2)
+	adj := simnet.FullyConnected(m)
+	alpha := 0.1
+	pol, err := Generate(Input{Times: times, Adj: adj, Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(pol.P, adj); err != nil {
+		t.Fatal(err)
+	}
+	// Floors: p_im >= 2αρ on every edge (Eq. 11).
+	floor := 2 * alpha * pol.Rho
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j && adj[i][j] && pol.P[i][j] < floor-1e-7 {
+				t.Fatalf("p[%d][%d] = %v below floor %v", i, j, pol.P[i][j], floor)
+			}
+		}
+	}
+	// Eq. 10: every worker's average iteration time equals M·t̄.
+	avg := AvgIterTimes(pol.P, times, adj)
+	for i, a := range avg {
+		if math.Abs(a-float64(m)*pol.TBar) > 1e-5 {
+			t.Fatalf("t_%d = %v, want M·t̄ = %v", i, a, float64(m)*pol.TBar)
+		}
+	}
+	if pol.Lambda2 <= 0 || pol.Lambda2 >= 1 {
+		t.Fatalf("λ2 = %v, want in (0,1)", pol.Lambda2)
+	}
+	if pol.TConvergence <= 0 {
+		t.Fatalf("TConvergence = %v", pol.TConvergence)
+	}
+}
+
+func TestGenerateYIsDoublyStochastic(t *testing.T) {
+	// Theorem 3 / Lemmas 1-2: for any feasible P, Y_P is doubly stochastic
+	// with λ2 < 1.
+	f := func(seed int64) bool {
+		m := 4 + int(seed%3+3)%3 // 4..6
+		times := hetTimes(m, seed)
+		adj := simnet.FullyConnected(m)
+		pol, err := Generate(Input{Times: times, Adj: adj, Alpha: 0.1, OuterRounds: 5, InnerRounds: 5})
+		if err != nil {
+			return false
+		}
+		y := BuildY(pol.P, times, adj, 0.1, pol.Rho)
+		if !y.IsDoublyStochastic(1e-6) {
+			return false
+		}
+		l2, err := linalg.SecondLargestEigenvalue(y)
+		return err == nil && l2 < 1-1e-9 && l2 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratePrefersFastLinks(t *testing.T) {
+	// Node 0 has one fast neighbor (1) and two slow ones (2, 3); the policy
+	// must give the fast neighbor the highest probability.
+	m := 4
+	times := make([][]float64, m)
+	for i := range times {
+		times[i] = make([]float64, m)
+	}
+	set := func(i, j int, v float64) { times[i][j] = v; times[j][i] = v }
+	set(0, 1, 1)
+	set(0, 2, 10)
+	set(0, 3, 10)
+	set(1, 2, 1)
+	set(1, 3, 10)
+	set(2, 3, 1)
+	adj := simnet.FullyConnected(m)
+	pol, err := Generate(Input{Times: times, Adj: adj, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.P[0][1] <= pol.P[0][2] || pol.P[0][1] <= pol.P[0][3] {
+		t.Fatalf("fast neighbor not preferred: row 0 = %v", pol.P[0])
+	}
+}
+
+func TestGenerateBeatsUniformOnHeterogeneousNet(t *testing.T) {
+	// The adaptive policy's predicted convergence time must beat the uniform
+	// policy evaluated with the same spectral machinery.
+	m := 6
+	times := hetTimes(m, 9)
+	adj := simnet.FullyConnected(m)
+	alpha := 0.1
+	pol, err := Generate(Input{Times: times, Adj: adj, Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := Uniform(adj)
+	rho := pol.Rho
+	yu := BuildY(uni, times, adj, alpha, rho)
+	eig, err := linalg.SymmetricEigenvalues(yu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform on a heterogeneous net is generally not doubly stochastic,
+	// so the relevant rate is λ1 (Section IV).
+	lu := eig[0]
+	if lu >= 1 {
+		// λ1 >= 1 means the uniform bound gives no convergence guarantee at
+		// all; adaptive trivially wins.
+		return
+	}
+	tu := mean(AvgIterTimes(uni, times, adj)) / float64(m)
+	tconvU := tu * math.Log(1e-2) / math.Log(lu)
+	if pol.TConvergence > tconvU {
+		t.Fatalf("adaptive TConv %v worse than uniform %v", pol.TConvergence, tconvU)
+	}
+}
+
+func TestGenerateHomogeneousNearUniform(t *testing.T) {
+	// On a homogeneous network the optimal policy approaches uniform
+	// selection (Section V-D: "NetMax lets worker nodes choose their
+	// neighbors randomly and uniformly to favor fast convergence").
+	m := 4
+	times := make([][]float64, m)
+	for i := range times {
+		times[i] = make([]float64, m)
+		for j := range times[i] {
+			if i != j {
+				times[i][j] = 2.0
+			}
+		}
+	}
+	adj := simnet.FullyConnected(m)
+	pol, err := Generate(Input{Times: times, Adj: adj, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			if math.Abs(pol.P[i][j]-1.0/3.0) > 0.15 {
+				t.Fatalf("homogeneous policy row %d = %v, want near-uniform", i, pol.P[i])
+			}
+		}
+	}
+}
+
+func TestGenerateRingTopology(t *testing.T) {
+	m := 6
+	times := hetTimes(m, 4)
+	adj := simnet.Ring(m)
+	pol, err := Generate(Input{Times: times, Adj: adj, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(pol.P, adj); err != nil {
+		t.Fatal(err)
+	}
+	// No probability mass on non-ring edges.
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j && !adj[i][j] && pol.P[i][j] != 0 {
+				t.Fatalf("mass on chord %d-%d", i, j)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadRows(t *testing.T) {
+	adj := simnet.FullyConnected(2)
+	if err := Validate([][]float64{{0.5, 0.4}, {0.5, 0.5}}, adj); err == nil {
+		t.Fatal("row not summing to 1 accepted")
+	}
+	if err := Validate([][]float64{{-0.1, 1.1}, {0.5, 0.5}}, adj); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+}
+
+func TestGenerateSizeMismatch(t *testing.T) {
+	if _, err := Generate(Input{Times: hetTimes(3, 1), Adj: simnet.FullyConnected(4), Alpha: 0.1}); err == nil {
+		t.Fatal("expected error on size mismatch")
+	}
+}
+
+func TestBuildYUniformHomogeneousSpectrum(t *testing.T) {
+	// Uniform policy on a homogeneous fully connected network: Y is doubly
+	// stochastic (pg uniform by symmetry), so λ1 = 1 > λ2.
+	m := 4
+	times := make([][]float64, m)
+	for i := range times {
+		times[i] = make([]float64, m)
+		for j := range times[i] {
+			if i != j {
+				times[i][j] = 1
+			}
+		}
+	}
+	adj := simnet.FullyConnected(m)
+	y := BuildY(Uniform(adj), times, adj, 0.1, 1.0)
+	if !y.IsDoublyStochastic(1e-9) {
+		t.Fatal("Y not doubly stochastic in the symmetric case")
+	}
+	eig, err := linalg.SymmetricEigenvalues(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-1) > 1e-9 {
+		t.Fatalf("λ1 = %v, want 1", eig[0])
+	}
+	if eig[1] >= 1 {
+		t.Fatalf("λ2 = %v, want < 1", eig[1])
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func TestShuffledRatesTwoClasses(t *testing.T) {
+	topo := PaperCluster(8)
+	net := NewShuffledRates(topo, 1, 600, 30)
+	fast, slow := 0, 0
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			switch net.Rate(i, j, 5) {
+			case net.IntraRate:
+				fast++
+			case net.InterRate:
+				slow++
+			default:
+				t.Fatalf("unexpected rate %v for %d-%d", net.Rate(i, j, 5), i, j)
+			}
+		}
+	}
+	if slow == 0 || fast == 0 {
+		t.Fatalf("want both classes, got %d fast / %d slow", fast, slow)
+	}
+	// A third of the 28 pairs should be congested.
+	if slow != 28/3 {
+		t.Fatalf("congested pairs = %d, want %d", slow, 28/3)
+	}
+}
+
+func TestShuffledRatesChangeOverPeriods(t *testing.T) {
+	topo := PaperCluster(8)
+	net := NewShuffledRates(topo, 3, 900, 30)
+	classify := func(now float64) map[[2]int]bool {
+		out := map[[2]int]bool{}
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				out[[2]int{i, j}] = net.Rate(i, j, now) == net.IntraRate
+			}
+		}
+		return out
+	}
+	first := classify(5)
+	changed := false
+	for p := 1; p < 10; p++ {
+		cur := classify(float64(p)*30 + 5)
+		for k, v := range first {
+			if cur[k] != v {
+				changed = true
+			}
+		}
+		if changed {
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("link classes never changed across periods")
+	}
+}
+
+func TestShuffledRatesStableWithinPeriod(t *testing.T) {
+	topo := PaperCluster(4)
+	net := NewShuffledRates(topo, 5, 600, 30)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if net.Rate(i, j, 1) != net.Rate(i, j, 29) {
+				t.Fatalf("rate of %d-%d changed within one period", i, j)
+			}
+		}
+	}
+}
+
+func TestShuffledRatesSlowClassBelowInter(t *testing.T) {
+	topo := PaperCluster(4)
+	net := NewShuffledRates(topo, 7, 300, 30)
+	if net.InterRate >= DefaultInterRate {
+		t.Fatalf("shuffled slow class %v should sit well below the normal inter rate %v",
+			net.InterRate, DefaultInterRate)
+	}
+}
+
+func TestShuffledRatesDeterministic(t *testing.T) {
+	topo := PaperCluster(8)
+	a := NewShuffledRates(topo, 11, 600, 30)
+	b := NewShuffledRates(topo, 11, 600, 30)
+	for now := 0.0; now < 600; now += 17 {
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if i != j && a.Rate(i, j, now) != b.Rate(i, j, now) {
+					t.Fatal("same seed produced different shuffled rates")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package stats provides multi-seed replication and summary statistics for
+// the experiments: the evaluation claims in EXPERIMENTS.md are reported as
+// mean +/- stderr over several seeds, not single-run point estimates.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"netmax/internal/engine"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	StdErr float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs; it panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+		s.StdErr = s.Std / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3g +/- %.2g (n=%d)", s.Mean, s.StdErr, s.N)
+}
+
+// Replicate runs a seeded experiment n times and returns its results.
+func Replicate(n int, baseSeed int64, run func(seed int64) *engine.Result) []*engine.Result {
+	out := make([]*engine.Result, n)
+	for i := 0; i < n; i++ {
+		out[i] = run(baseSeed + int64(i)*1000)
+	}
+	return out
+}
+
+// Extract maps results to a scalar series.
+func Extract(rs []*engine.Result, f func(*engine.Result) float64) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = f(r)
+	}
+	return out
+}
+
+// TotalTimes extracts TotalTime from each result.
+func TotalTimes(rs []*engine.Result) []float64 {
+	return Extract(rs, func(r *engine.Result) float64 { return r.TotalTime })
+}
+
+// Accuracies extracts FinalAccuracy from each result.
+func Accuracies(rs []*engine.Result) []float64 {
+	return Extract(rs, func(r *engine.Result) float64 { return r.FinalAccuracy })
+}
+
+// SpeedupSummary computes per-seed speedups base[i]/test[i] and summarizes
+// them; the two slices must be paired by seed.
+func SpeedupSummary(base, test []*engine.Result) (Summary, error) {
+	if len(base) != len(test) || len(base) == 0 {
+		return Summary{}, fmt.Errorf("stats: mismatched replicates %d vs %d", len(base), len(test))
+	}
+	sp := make([]float64, len(base))
+	for i := range base {
+		if test[i].TotalTime <= 0 {
+			return Summary{}, fmt.Errorf("stats: non-positive time in replicate %d", i)
+		}
+		sp[i] = base[i].TotalTime / test[i].TotalTime
+	}
+	return Summarize(sp), nil
+}

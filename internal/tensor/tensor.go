@@ -1,0 +1,351 @@
+// Package tensor implements a small dense float64 tensor library used as the
+// numeric substrate for the autograd engine and the neural-network layers.
+//
+// Tensors are row-major, at most rank 2 in practice (the model zoo uses
+// vectors and matrices), but the type supports arbitrary rank. All operations
+// allocate their result unless the method name ends in "Into" or is
+// documented as in-place.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major float64 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", s))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (not copied) with the given shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v does not match data length %d", shape, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Randn returns a tensor with entries drawn from N(0, std²) using rng.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// Full returns a tensor filled with v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Rows returns the first dimension (1 for scalars/vectors of rank<1).
+func (t *Tensor) Rows() int {
+	if len(t.Shape) == 0 {
+		return 1
+	}
+	return t.Shape[0]
+}
+
+// Cols returns the second dimension, or 1 if rank < 2.
+func (t *Tensor) Cols() int {
+	if len(t.Shape) < 2 {
+		return 1
+	}
+	return t.Shape[1]
+}
+
+// At returns the element at a rank-2 index.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols()+j] }
+
+// Set assigns the element at a rank-2 index.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols()+j] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v%v", t.Shape, t.Data)
+}
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product.
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns a*s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func (t *Tensor) AddInPlace(b *Tensor) {
+	assertSameShape("AddInPlace", t, b)
+	for i := range t.Data {
+		t.Data[i] += b.Data[i]
+	}
+}
+
+// AXPY performs t += s*b in place.
+func (t *Tensor) AXPY(s float64, b *Tensor) {
+	assertSameShape("AXPY", t, b)
+	for i := range t.Data {
+		t.Data[i] += s * b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies t by s in place.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// MatMul returns a@b for rank-2 tensors.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	m, k, k2, n := a.Shape[0], a.Shape[1], b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires rank-2 operand")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Dot returns the inner product of two tensors viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the tensor viewed as a flat vector.
+func (t *Tensor) Norm2() float64 {
+	return math.Sqrt(Dot(t, t))
+}
+
+// Apply returns f applied elementwise.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.Shape...)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ArgMaxRow returns the index of the maximum element of row i (rank-2).
+func (t *Tensor) ArgMaxRow(i int) int {
+	c := t.Cols()
+	row := t.Data[i*c : (i+1)*c]
+	best, bv := 0, row[0]
+	for j, v := range row {
+		if v > bv {
+			best, bv = j, v
+		}
+	}
+	return best
+}
+
+// AddRowVector adds vector v (length = cols) to every row of a rank-2 tensor.
+func AddRowVector(a, v *Tensor) *Tensor {
+	m, n := a.Shape[0], a.Shape[1]
+	if v.Len() != n {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d vs cols %d", v.Len(), n))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = a.Data[i*n+j] + v.Data[j]
+		}
+	}
+	return out
+}
+
+// SumRows returns the column-wise sums of a rank-2 tensor as a vector.
+func SumRows(a *Tensor) *Tensor {
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j] += a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the maximum absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports exact equality of shape and data.
+func Equal(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether all elements differ by at most tol.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,314 @@
+// Package theory provides an executable form of the paper's convergence
+// analysis (Section IV): the matrix-form consensus iteration of Eq. (18),
+// the D^k update matrices of Eq. (19), and empirical verifiers for
+// Theorems 1-3. The evaluation figures show NetMax is fast; this package
+// shows it is *correct* — the same claims the paper proves are checked
+// numerically on strongly convex problems where x* is known in closed form.
+package theory
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netmax/internal/linalg"
+	"netmax/internal/policy"
+)
+
+// Quadratic is the scalar strongly convex test problem
+// f(x) = (mu/2)(x-target)^2 per worker, whose joint optimum is the mean of
+// the per-worker targets when workers reach consensus. Its gradient is
+// mu*(x-target), which is mu-strongly convex with mu-Lipschitz gradient, so
+// Assumption 1 holds with L = mu and any alpha <= 2/(mu+L) = 1/mu.
+type Quadratic struct {
+	Mu      float64
+	Targets []float64 // per-worker optima (heterogeneous local data)
+}
+
+// NewQuadratic draws per-worker targets in [-spread, spread].
+func NewQuadratic(m int, mu, spread float64, seed int64) *Quadratic {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([]float64, m)
+	for i := range t {
+		t[i] = (rng.Float64()*2 - 1) * spread
+	}
+	return &Quadratic{Mu: mu, Targets: t}
+}
+
+// Optimum returns the consensus optimum x* = mean(targets): the minimizer
+// of sum_i f_i(x).
+func (q *Quadratic) Optimum() float64 {
+	s := 0.0
+	for _, t := range q.Targets {
+		s += t
+	}
+	return s / float64(len(q.Targets))
+}
+
+// Grad returns worker i's stochastic gradient at x with additive noise of
+// the given standard deviation (Assumption 1's bounded-variance noise).
+func (q *Quadratic) Grad(i int, x, noiseStd float64, rng *rand.Rand) float64 {
+	return q.Mu*(x-q.Targets[i]) + rng.NormFloat64()*noiseStd
+}
+
+// Iteration runs the paper's Eq. (17)/(18) update directly: at each global
+// step one worker i (drawn with probability pg[i]) takes a gradient step
+// and blends toward a neighbor m (drawn with probability P[i][m]).
+type Iteration struct {
+	Q        *Quadratic
+	P        [][]float64
+	Adj      [][]bool
+	Alpha    float64
+	Rho      float64
+	NoiseStd float64
+	// Pg is the global-step ownership distribution (Eq. 3); nil = uniform.
+	Pg []float64
+
+	X   []float64
+	rng *rand.Rand
+	k   int
+}
+
+// NewIteration initializes all workers at x0.
+func NewIteration(q *Quadratic, p [][]float64, adj [][]bool, alpha, rho, noiseStd, x0 float64, seed int64) *Iteration {
+	m := len(p)
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = x0
+	}
+	return &Iteration{Q: q, P: p, Adj: adj, Alpha: alpha, Rho: rho, NoiseStd: noiseStd, X: x, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Step advances one global iteration step k (Eq. 17).
+func (it *Iteration) Step() {
+	m := len(it.X)
+	i := it.sampleWorker()
+	j := sampleRow(it.P[i], i, it.rng)
+	// First update: local gradient.
+	xi := it.X[i] - it.Alpha*it.Q.Grad(i, it.X[i], it.NoiseStd, it.rng)
+	// Second update: consensus blend with gamma = (d_ij+d_ji)/(2 p_ij).
+	if j != i && it.P[i][j] > 0 {
+		d := 0.0
+		if it.Adj[i][j] {
+			d++
+		}
+		if it.Adj[j][i] {
+			d++
+		}
+		gamma := d / (2 * it.P[i][j])
+		xi -= it.Alpha * it.Rho * gamma * (xi - it.X[j])
+	}
+	it.X[i] = xi
+	it.k++
+	_ = m
+}
+
+func (it *Iteration) sampleWorker() int {
+	if it.Pg == nil {
+		return it.rng.Intn(len(it.X))
+	}
+	r := it.rng.Float64()
+	acc := 0.0
+	for i, p := range it.Pg {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(it.X) - 1
+}
+
+// Deviation returns ||x^k - x* 1||^2, the quantity bounded by Theorem 1.
+func (it *Iteration) Deviation() float64 {
+	opt := it.Q.Optimum()
+	s := 0.0
+	for _, x := range it.X {
+		s += (x - opt) * (x - opt)
+	}
+	return s
+}
+
+// ConsensusGap returns max_i,j |x_i - x_j|: zero at consensus.
+func (it *Iteration) ConsensusGap() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range it.X {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return hi - lo
+}
+
+func sampleRow(row []float64, self int, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for j, p := range row {
+		acc += p
+		if r < acc {
+			return j
+		}
+	}
+	return self
+}
+
+// TheoremOneBound evaluates the geometric-contraction envelope of Eq. (23):
+// rate^k * ||x0 - x* 1||^2 + alpha^2 sigma^2 rate/(1-rate).
+//
+// A note on the rate: the paper states the bound with rate = lambda2(Y_P).
+// Its derivation (Eq. 39) replaces the quadratic form z'Y z by lambda2 z'z,
+// which is exact only for z orthogonal to the all-ones vector; the mean
+// component instead contracts through the strong-convexity factor
+// 1 - 2*alpha*mu*L*p_min/(mu+L) kept in Eq. 46 and then dropped. The
+// rigorous envelope for the full deviation therefore uses
+// rate = max(lambda2, 1 - 2 alpha mu L p_min/(mu+L)); the lambda2-only form
+// governs the consensus (perpendicular) component, which
+// VerifyConsensusContraction checks separately.
+func TheoremOneBound(rate, initialDeviation, alpha, sigma float64, k int) float64 {
+	return math.Pow(rate, float64(k))*initialDeviation + alpha*alpha*sigma*sigma*rate/(1-rate)
+}
+
+// ContractionRate returns the rigorous per-global-step contraction factor
+// for a policy with second eigenvalue lambda2 on a mu-strongly convex
+// problem with L-Lipschitz gradients and minimum global-step probability
+// pMin (see TheoremOneBound's note).
+func ContractionRate(lambda2, alpha, mu, l, pMin float64) float64 {
+	sc := 1 - 2*alpha*mu*l*pMin/(mu+l)
+	if lambda2 > sc {
+		return lambda2
+	}
+	return sc
+}
+
+// VerifyTheorem1 runs the Eq. (18) iteration on a shared-optimum strongly
+// convex problem (the setting of the paper's proof, whose Eq. 42 evaluates
+// local gradients at the joint optimum) and checks that the mean squared
+// deviation over trials stays within slack x the Theorem 1 envelope at
+// every sampled checkpoint. It returns the measured and bound series.
+func VerifyTheorem1(p *policy.Policy, adj [][]bool, alpha, noiseStd float64, steps, trials int, slack float64, seed int64) (measured, bound []float64, err error) {
+	m := len(p.P)
+	const checkEvery = 50
+	nChecks := steps/checkEvery + 1
+	measured = make([]float64, nChecks)
+	bound = make([]float64, nChecks)
+
+	// Shared optimum at 0: every worker's loss is (mu/2) x^2.
+	q := &Quadratic{Mu: 1.0, Targets: make([]float64, m)}
+	x0 := 3.0
+	init := float64(m) * x0 * x0
+	rate := ContractionRate(p.Lambda2, alpha, q.Mu, q.Mu, 1/float64(m))
+	for c := 0; c < nChecks; c++ {
+		bound[c] = TheoremOneBound(rate, init, alpha, noiseStd, c*checkEvery)
+	}
+	for trial := 0; trial < trials; trial++ {
+		it := NewIteration(q, p.P, adj, alpha, p.Rho, noiseStd, x0, seed+int64(trial)*101)
+		for s := 0; s <= steps; s++ {
+			if s%checkEvery == 0 {
+				measured[s/checkEvery] += it.Deviation() / float64(trials)
+			}
+			if s < steps {
+				it.Step()
+			}
+		}
+	}
+	for c := range measured {
+		if measured[c] > slack*bound[c]+1e-9 {
+			return measured, bound, fmt.Errorf("theory: deviation %v exceeds %vx bound %v at step %d",
+				measured[c], slack, bound[c], c*checkEvery)
+		}
+	}
+	return measured, bound, nil
+}
+
+// VerifyConsensusContraction checks the consensus half of Theorem 1: with
+// no gradient noise, the disagreement x - mean(x) must contract
+// geometrically, within slack of the rigorous envelope rate^k where rate is
+// ContractionRate (the mean component leaks back into the consensus
+// subspace each step, so the pure lambda2^k envelope is attainable only
+// asymptotically; see TheoremOneBound's note).
+func VerifyConsensusContraction(p *policy.Policy, adj [][]bool, alpha float64, steps, trials int, slack float64, seed int64) error {
+	m := len(p.P)
+	q := &Quadratic{Mu: 1.0, Targets: make([]float64, m)}
+	rate := ContractionRate(p.Lambda2, alpha, q.Mu, q.Mu, 1/float64(m))
+	const checkEvery = 100
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		it := NewIteration(q, p.P, adj, alpha, p.Rho, 0, 0, seed+int64(trial)*107)
+		// Random disagreement around zero mean.
+		for i := range it.X {
+			it.X[i] = rng.NormFloat64()
+		}
+		init := consensusSq(it.X)
+		for s := 1; s <= steps; s++ {
+			it.Step()
+			if s%checkEvery == 0 {
+				envelope := math.Pow(rate, float64(s)) * init * slack
+				// Floor the envelope: rounding noise keeps a tiny residual.
+				if envelope < 1e-10 {
+					envelope = 1e-10
+				}
+				if got := consensusSq(it.X); got > envelope {
+					return fmt.Errorf("theory: consensus residual %v exceeds envelope %v at step %d", got, envelope, s)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func consensusSq(x []float64) float64 {
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	s := 0.0
+	for _, v := range x {
+		s += (v - mean) * (v - mean)
+	}
+	return s
+}
+
+// SpectralGap returns 1 - lambda2(Y_P): the consensus speed of a policy on
+// the given timing landscape.
+func SpectralGap(p [][]float64, times [][]float64, adj [][]bool, alpha, rho float64) (float64, error) {
+	y := policy.BuildY(p, times, adj, alpha, rho)
+	l2, err := linalg.SecondLargestEigenvalue(y)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - l2, nil
+}
+
+// ConvergenceRateCheck verifies the O(1/sqrt(k)) ergodic rate of Theorem 3:
+// running with alpha = c/sqrt(k) for increasing k, the averaged suboptimality
+// sum f(x^l)-f(x*) over k must scale like 1/sqrt(k). Returns the measured
+// suboptimality at each k.
+func ConvergenceRateCheck(p *policy.Policy, adj [][]bool, ks []int, c float64, seed int64) []float64 {
+	m := len(p.P)
+	q := NewQuadratic(m, 1.0, 1.0, seed)
+	opt := q.Optimum()
+	f := func(x float64) float64 {
+		s := 0.0
+		for _, t := range q.Targets {
+			s += 0.5 * (x - t) * (x - t)
+		}
+		return s
+	}
+	fstar := f(opt)
+	out := make([]float64, len(ks))
+	for idx, k := range ks {
+		alpha := c / math.Sqrt(float64(k))
+		it := NewIteration(q, p.P, adj, alpha, p.Rho, 0.1, 3.0, seed+int64(idx))
+		sum := 0.0
+		for s := 0; s < k; s++ {
+			it.Step()
+			mean := 0.0
+			for _, x := range it.X {
+				mean += x
+			}
+			mean /= float64(m)
+			sum += f(mean) - fstar
+		}
+		out[idx] = sum / float64(k)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netmax/internal/policy"
+	"netmax/internal/simnet"
+)
+
+func testPolicy(t *testing.T, m int, seed int64) (*policy.Policy, [][]bool, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	times := make([][]float64, m)
+	for i := range times {
+		times[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := 1 + rng.Float64()*9
+			times[i][j], times[j][i] = v, v
+		}
+	}
+	adj := simnet.FullyConnected(m)
+	pol, err := policy.Generate(policy.Input{Times: times, Adj: adj, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol, adj, times
+}
+
+func TestQuadraticOptimum(t *testing.T) {
+	q := &Quadratic{Mu: 1, Targets: []float64{1, 2, 3}}
+	if q.Optimum() != 2 {
+		t.Fatalf("optimum = %v", q.Optimum())
+	}
+}
+
+func TestQuadraticGradZeroAtTargetNoNoise(t *testing.T) {
+	q := &Quadratic{Mu: 2, Targets: []float64{5}}
+	rng := rand.New(rand.NewSource(1))
+	if g := q.Grad(0, 5, 0, rng); g != 0 {
+		t.Fatalf("grad at target = %v", g)
+	}
+	if g := q.Grad(0, 6, 0, rng); g != 2 {
+		t.Fatalf("grad = %v, want mu*(x-t) = 2", g)
+	}
+}
+
+func TestIterationReachesConsensusNoiseless(t *testing.T) {
+	// Theorem 1 with sigma = 0: the deviation contracts to zero, meaning
+	// both consensus and optimality.
+	pol, adj, _ := testPolicy(t, 4, 1)
+	q := NewQuadratic(4, 1.0, 1.0, 2)
+	it := NewIteration(q, pol.P, adj, 0.1, pol.Rho, 0, 3.0, 3)
+	initial := it.Deviation()
+	for s := 0; s < 20000; s++ {
+		it.Step()
+	}
+	// Eq. (1) is a quadratic-penalty consensus formulation: with
+	// heterogeneous local optima a residual disagreement proportional to
+	// the gradient spread over the coupling strength persists, so we check
+	// contraction to a small neighborhood rather than exact consensus.
+	if it.Deviation() > initial*1e-2 {
+		t.Fatalf("deviation %v did not contract from %v", it.Deviation(), initial)
+	}
+	if it.ConsensusGap() > 0.5 {
+		t.Fatalf("consensus gap = %v", it.ConsensusGap())
+	}
+	// All workers near the joint optimum, not their local targets (the
+	// targets are spread over [-1, 1]).
+	opt := q.Optimum()
+	for i, x := range it.X {
+		if math.Abs(x-opt) > 0.3 {
+			t.Fatalf("worker %d at %v, optimum %v", i, x, opt)
+		}
+	}
+}
+
+func TestIterationNoiseBall(t *testing.T) {
+	// With noise, the deviation settles into a ball whose size shrinks
+	// with alpha (the alpha^2 sigma^2 term of Eq. 23).
+	pol, adj, _ := testPolicy(t, 4, 5)
+	q := NewQuadratic(4, 1.0, 0.5, 6)
+	settle := func(alpha float64) float64 {
+		it := NewIteration(q, pol.P, adj, alpha, pol.Rho, 1.0, 2.0, 7)
+		for s := 0; s < 30000; s++ {
+			it.Step()
+		}
+		// Average the tail.
+		sum := 0.0
+		for s := 0; s < 5000; s++ {
+			it.Step()
+			sum += it.Deviation()
+		}
+		return sum / 5000
+	}
+	big := settle(0.2)
+	small := settle(0.02)
+	if small >= big {
+		t.Fatalf("noise ball did not shrink with alpha: %v (a=0.02) vs %v (a=0.2)", small, big)
+	}
+}
+
+func TestTheoremOneBoundFormula(t *testing.T) {
+	// k=0: bound = initial + noise term.
+	b := TheoremOneBound(0.5, 4.0, 0.1, 1.0, 0)
+	want := 4.0 + 0.01*0.5/0.5
+	if math.Abs(b-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", b, want)
+	}
+	// Large k: bound approaches the noise floor.
+	b = TheoremOneBound(0.5, 4.0, 0.1, 1.0, 1000)
+	if math.Abs(b-0.01) > 1e-9 {
+		t.Fatalf("asymptotic bound = %v, want 0.01", b)
+	}
+}
+
+func TestContractionRate(t *testing.T) {
+	// Strong-convexity factor dominates for small alpha.
+	r := ContractionRate(0.5, 0.01, 1, 1, 0.25)
+	want := 1 - 2*0.01*0.5*0.25
+	if math.Abs(r-want) > 1e-12 {
+		t.Fatalf("rate = %v, want %v", r, want)
+	}
+	// lambda2 dominates when it is larger.
+	if got := ContractionRate(0.999, 0.5, 1, 1, 0.25); got != 0.999 {
+		t.Fatalf("rate = %v, want lambda2", got)
+	}
+}
+
+func TestVerifyConsensusContraction(t *testing.T) {
+	pol, adj, _ := testPolicy(t, 4, 33)
+	if err := VerifyConsensusContraction(pol, adj, 0.1, 1500, 4, 50, 35); err != nil {
+		t.Fatalf("consensus contraction violated: %v", err)
+	}
+}
+
+func TestVerifyTheorem1Holds(t *testing.T) {
+	pol, adj, _ := testPolicy(t, 4, 9)
+	measured, bound, err := VerifyTheorem1(pol, adj, 0.1, 0.1, 2000, 8, 3.0, 11)
+	if err != nil {
+		t.Fatalf("Theorem 1 violated: %v", err)
+	}
+	if len(measured) != len(bound) || len(measured) == 0 {
+		t.Fatal("series missing")
+	}
+	// The measured deviation should have contracted substantially.
+	if measured[len(measured)-1] > measured[0]*0.3 {
+		t.Fatalf("deviation did not contract: %v -> %v", measured[0], measured[len(measured)-1])
+	}
+}
+
+func TestSpectralGapPositiveForGeneratedPolicies(t *testing.T) {
+	pol, adj, times := testPolicy(t, 5, 13)
+	gap, err := SpectralGap(pol.P, times, adj, 0.1, pol.Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap <= 0 || gap >= 1 {
+		t.Fatalf("spectral gap = %v, want in (0,1)", gap)
+	}
+	// Consistent with the policy's own lambda2.
+	if math.Abs((1-gap)-pol.Lambda2) > 1e-6 {
+		t.Fatalf("gap disagrees with policy lambda2: %v vs %v", 1-gap, pol.Lambda2)
+	}
+}
+
+func TestConvergenceRateScalesLikeInverseSqrtK(t *testing.T) {
+	// Theorem 3: ergodic suboptimality ~ O(1/sqrt(k)). Quadrupling k should
+	// roughly halve it; allow generous slack for stochasticity.
+	pol, adj, _ := testPolicy(t, 4, 15)
+	ks := []int{2000, 32000}
+	sub := ConvergenceRateCheck(pol, adj, ks, 1.0, 17)
+	if sub[1] >= sub[0] {
+		t.Fatalf("suboptimality did not decrease with k: %v", sub)
+	}
+	// 16x more steps => expect ~4x reduction; demand at least 2x.
+	if sub[0]/sub[1] < 2 {
+		t.Fatalf("rate too slow: %v -> %v (ratio %v)", sub[0], sub[1], sub[0]/sub[1])
+	}
+}
+
+func TestDynamicNetworkTheorem2(t *testing.T) {
+	// Theorem 2: under a changing policy (network dynamics), convergence is
+	// still governed by lambda_max < 1. Alternate between two generated
+	// policies and verify contraction.
+	polA, adj, _ := testPolicy(t, 4, 19)
+	polB, _, _ := testPolicy(t, 4, 23)
+	q := NewQuadratic(4, 1.0, 1.0, 25)
+	it := NewIteration(q, polA.P, adj, 0.1, polA.Rho, 0, 3.0, 27)
+	initial := it.Deviation()
+	for s := 0; s < 20000; s++ {
+		if s%500 == 0 { // swap policy every 500 steps
+			if (s/500)%2 == 0 {
+				it.P, it.Rho = polB.P, polB.Rho
+			} else {
+				it.P, it.Rho = polA.P, polA.Rho
+			}
+		}
+		it.Step()
+	}
+	if it.Deviation() > initial*1e-2 {
+		t.Fatalf("dynamic-network iteration did not contract: %v -> %v", initial, it.Deviation())
+	}
+}
+
+func TestIterationWithExplicitPg(t *testing.T) {
+	pol, adj, _ := testPolicy(t, 3, 29)
+	q := NewQuadratic(3, 1.0, 1.0, 30)
+	it := NewIteration(q, pol.P, adj, 0.1, pol.Rho, 0, 1.0, 31)
+	it.Pg = []float64{0.8, 0.1, 0.1}
+	for s := 0; s < 5000; s++ {
+		it.Step()
+	}
+	if it.ConsensusGap() > 0.2 {
+		t.Fatalf("consensus gap with skewed pg = %v", it.ConsensusGap())
+	}
+}

@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The TCP transport frames gob-encoded request/response pairs over
+// short-lived connections: simple, dependency-free, and adequate for the
+// model sizes of the live demo. Message kinds:
+//
+//	pullReq/pullResp      worker -> worker   model pull
+//	reportReq/ack         worker -> monitor  iteration-time report
+//	policyReq/policyResp  worker -> monitor  policy fetch
+
+type pullReq struct{ From int }
+
+type pullResp struct{ Vector []float64 }
+
+type reportReq struct {
+	From, To int
+	Secs     float64
+}
+
+type ack struct{}
+
+type policyReq struct{}
+
+type policyResp struct {
+	P       [][]float64
+	Rho     float64
+	Version int
+}
+
+// TCPWorkerServer answers model pulls for one worker.
+type TCPWorkerServer struct {
+	ln     net.Listener
+	src    ModelSource
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeWorker starts answering pulls on addr (e.g. "127.0.0.1:0") and
+// returns the server; its Addr method reports the bound address.
+func ServeWorker(addr string, src ModelSource) (*TCPWorkerServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPWorkerServer{ln: ln, src: src}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *TCPWorkerServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for the accept loop.
+func (s *TCPWorkerServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPWorkerServer) loop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			dec := gob.NewDecoder(c)
+			enc := gob.NewEncoder(c)
+			var req pullReq
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			_ = enc.Encode(pullResp{Vector: s.src()})
+		}(conn)
+	}
+}
+
+// TCPPeer pulls models from a remote worker address.
+type TCPPeer struct {
+	From int
+	Addr string
+}
+
+// PullModel dials the peer, sends a pull request and returns the vector.
+func (p *TCPPeer) PullModel() ([]float64, error) {
+	conn, err := net.Dial("tcp", p.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", p.Addr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(pullReq{From: p.From}); err != nil {
+		return nil, err
+	}
+	var resp pullResp
+	if err := dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return resp.Vector, nil
+}
+
+// TCPMonitorServer hosts the Network Monitor endpoint.
+type TCPMonitorServer struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+
+	report func(from, to int, secs float64)
+
+	policyMu sync.RWMutex
+	p        [][]float64
+	rho      float64
+	version  int
+}
+
+// ServeMonitor starts the monitor endpoint on addr; onReport receives every
+// time report.
+func ServeMonitor(addr string, onReport func(from, to int, secs float64)) (*TCPMonitorServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPMonitorServer{ln: ln, report: onReport}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *TCPMonitorServer) Addr() string { return s.ln.Addr().String() }
+
+// SetPolicy publishes a new policy to pollers.
+func (s *TCPMonitorServer) SetPolicy(p [][]float64, rho float64) {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	s.p = p
+	s.rho = rho
+	s.version++
+}
+
+// Close stops the endpoint.
+func (s *TCPMonitorServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPMonitorServer) loop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *TCPMonitorServer) handle(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	var kind string
+	if err := dec.Decode(&kind); err != nil {
+		return
+	}
+	switch kind {
+	case "report":
+		var req reportReq
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if s.report != nil {
+			s.report(req.From, req.To, req.Secs)
+		}
+		_ = enc.Encode(ack{})
+	case "policy":
+		var req policyReq
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		s.policyMu.RLock()
+		resp := policyResp{P: s.p, Rho: s.rho, Version: s.version}
+		s.policyMu.RUnlock()
+		_ = enc.Encode(resp)
+	}
+}
+
+// TCPMonitorClient is a worker's dial-per-call client to the monitor.
+type TCPMonitorClient struct {
+	Addr string
+}
+
+// ReportTime sends one iteration-time observation.
+func (c *TCPMonitorClient) ReportTime(from, to int, secs float64) error {
+	conn, err := net.Dial("tcp", c.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode("report"); err != nil {
+		return err
+	}
+	if err := enc.Encode(reportReq{From: from, To: to, Secs: secs}); err != nil {
+		return err
+	}
+	var a ack
+	return dec.Decode(&a)
+}
+
+// FetchPolicy retrieves the latest policy.
+func (c *TCPMonitorClient) FetchPolicy() ([][]float64, float64, int, error) {
+	conn, err := net.Dial("tcp", c.Addr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode("policy"); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := enc.Encode(policyReq{}); err != nil {
+		return nil, 0, 0, err
+	}
+	var resp policyResp
+	if err := dec.Decode(&resp); err != nil {
+		return nil, 0, 0, err
+	}
+	return resp.P, resp.Rho, resp.Version, nil
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TCPHub wires a whole NetMax process group over loopback TCP: one
+// TCPWorkerServer per registered worker plus one TCPMonitorServer. It
+// implements the same surface as LocalNet, so internal/live can run
+// unchanged over real sockets (cmd/netmax-live -tcp).
+type TCPHub struct {
+	mu      sync.RWMutex
+	workers map[int]*TCPWorkerServer
+	addrs   map[int]string
+	mon     *TCPMonitorServer
+	monAddr string
+
+	reportMu sync.RWMutex
+	report   func(from, to int, secs float64)
+}
+
+// NewTCPHub starts the monitor endpoint and returns an empty hub. Close
+// must be called to release listeners.
+func NewTCPHub() (*TCPHub, error) {
+	h := &TCPHub{workers: make(map[int]*TCPWorkerServer), addrs: make(map[int]string)}
+	mon, err := ServeMonitor("127.0.0.1:0", func(from, to int, secs float64) {
+		h.reportMu.RLock()
+		f := h.report
+		h.reportMu.RUnlock()
+		if f != nil {
+			f(from, to, secs)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transport: start monitor: %w", err)
+	}
+	h.mon = mon
+	h.monAddr = mon.Addr()
+	return h, nil
+}
+
+// Register starts a TCP server answering pulls for worker id.
+func (h *TCPHub) Register(id int, src ModelSource) {
+	srv, err := ServeWorker("127.0.0.1:0", src)
+	if err != nil {
+		// Registration failures surface on the first pull; a hub on
+		// loopback with ephemeral ports only fails under fd exhaustion.
+		return
+	}
+	h.mu.Lock()
+	h.workers[id] = srv
+	h.addrs[id] = srv.Addr()
+	h.mu.Unlock()
+}
+
+// Peer returns a TCP pull handle from worker `from` to worker `to`.
+func (h *TCPHub) Peer(from, to int) Peer {
+	h.mu.RLock()
+	addr := h.addrs[to]
+	h.mu.RUnlock()
+	return &TCPPeer{From: from, Addr: addr}
+}
+
+// Monitor returns the worker-side monitor client.
+func (h *TCPHub) Monitor() MonitorClient {
+	return &TCPMonitorClient{Addr: h.monAddr}
+}
+
+// SetPolicy publishes a policy through the monitor endpoint.
+func (h *TCPHub) SetPolicy(p [][]float64, rho float64) {
+	h.mon.SetPolicy(p, rho)
+}
+
+// OnReport installs the monitor-side sink for time reports.
+func (h *TCPHub) OnReport(f func(from, to int, secs float64)) {
+	h.reportMu.Lock()
+	h.report = f
+	h.reportMu.Unlock()
+}
+
+// Close stops every listener.
+func (h *TCPHub) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var first error
+	for _, srv := range h.workers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := h.mon.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,133 @@
+// Package transport carries NetMax's two message kinds between live worker
+// processes: model pulls (worker -> worker) and monitor exchanges
+// (iteration-time reports up, policy broadcasts down).
+//
+// Two implementations are provided: an in-process channel/shared-memory
+// transport with injectable artificial latency (used by the examples to
+// demonstrate heterogeneity on one machine), and a TCP transport using
+// encoding/gob framing (used by cmd/netmax-live to run a real process
+// group). The discrete-event simulator does not use this package; this is
+// the "system" half of the reproduction.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ModelSource provides the current model vector of a worker; the transport
+// server calls it on every pull. Implementations must be safe for
+// concurrent use.
+type ModelSource func() []float64
+
+// Peer is a remote worker that models can be pulled from.
+type Peer interface {
+	// PullModel returns the peer's freshest parameter vector.
+	PullModel() ([]float64, error)
+}
+
+// MonitorClient is a worker's view of the Network Monitor.
+type MonitorClient interface {
+	// ReportTime delivers one smoothed iteration-time observation.
+	ReportTime(from, to int, secs float64) error
+	// FetchPolicy returns the latest (P, rho) and its version; workers
+	// poll and apply when the version advances.
+	FetchPolicy() (p [][]float64, rho float64, version int, err error)
+}
+
+// --- in-process transport ---
+
+// LocalNet is an in-process transport hub: workers register model sources
+// and pull from each other with injected latency, emulating a heterogeneous
+// network inside one OS process.
+type LocalNet struct {
+	mu      sync.RWMutex
+	sources map[int]ModelSource
+	// Latency returns the artificial one-way delay for a pull from j by i
+	// at wall time t. Nil means no delay.
+	Latency func(i, j int, t time.Time) time.Duration
+
+	policyMu sync.RWMutex
+	p        [][]float64
+	rho      float64
+	version  int
+	reports  func(from, to int, secs float64)
+}
+
+// NewLocalNet creates an empty hub.
+func NewLocalNet() *LocalNet {
+	return &LocalNet{sources: make(map[int]ModelSource)}
+}
+
+// Register installs worker id's model source.
+func (l *LocalNet) Register(id int, src ModelSource) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sources[id] = src
+}
+
+// Peer returns a handle through which worker `from` pulls from worker `to`.
+func (l *LocalNet) Peer(from, to int) Peer {
+	return &localPeer{net: l, from: from, to: to}
+}
+
+type localPeer struct {
+	net      *LocalNet
+	from, to int
+}
+
+func (p *localPeer) PullModel() ([]float64, error) {
+	p.net.mu.RLock()
+	src, ok := p.net.sources[p.to]
+	p.net.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no worker %d registered", p.to)
+	}
+	if p.net.Latency != nil {
+		if d := p.net.Latency(p.from, p.to, time.Now()); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	v := src()
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// SetPolicy publishes a new communication policy to all workers.
+func (l *LocalNet) SetPolicy(p [][]float64, rho float64) {
+	l.policyMu.Lock()
+	defer l.policyMu.Unlock()
+	l.p = p
+	l.rho = rho
+	l.version++
+}
+
+// OnReport installs the monitor-side sink for time reports.
+func (l *LocalNet) OnReport(f func(from, to int, secs float64)) {
+	l.policyMu.Lock()
+	defer l.policyMu.Unlock()
+	l.reports = f
+}
+
+// Monitor returns the worker-side monitor client.
+func (l *LocalNet) Monitor() MonitorClient { return (*localMonitor)(l) }
+
+type localMonitor LocalNet
+
+func (m *localMonitor) ReportTime(from, to int, secs float64) error {
+	m.policyMu.RLock()
+	f := m.reports
+	m.policyMu.RUnlock()
+	if f != nil {
+		f(from, to, secs)
+	}
+	return nil
+}
+
+func (m *localMonitor) FetchPolicy() ([][]float64, float64, int, error) {
+	m.policyMu.RLock()
+	defer m.policyMu.RUnlock()
+	return m.p, m.rho, m.version, nil
+}

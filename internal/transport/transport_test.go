@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLocalNetPull(t *testing.T) {
+	hub := NewLocalNet()
+	hub.Register(1, func() []float64 { return []float64{1, 2, 3} })
+	got, err := hub.Peer(0, 1).PullModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("pulled %v", got)
+	}
+}
+
+func TestLocalNetPullCopies(t *testing.T) {
+	backing := []float64{1, 2}
+	hub := NewLocalNet()
+	hub.Register(0, func() []float64 { return backing })
+	got, _ := hub.Peer(1, 0).PullModel()
+	got[0] = 99
+	if backing[0] != 1 {
+		t.Fatal("pull aliases source storage")
+	}
+}
+
+func TestLocalNetUnknownPeer(t *testing.T) {
+	hub := NewLocalNet()
+	if _, err := hub.Peer(0, 5).PullModel(); err == nil {
+		t.Fatal("expected error for unknown peer")
+	}
+}
+
+func TestLocalNetLatencyInjected(t *testing.T) {
+	hub := NewLocalNet()
+	hub.Register(1, func() []float64 { return []float64{1} })
+	hub.Latency = func(i, j int, _ time.Time) time.Duration { return 30 * time.Millisecond }
+	start := time.Now()
+	if _, err := hub.Peer(0, 1).PullModel(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency not injected: %v", d)
+	}
+}
+
+func TestLocalNetPolicyVersioning(t *testing.T) {
+	hub := NewLocalNet()
+	mc := hub.Monitor()
+	_, _, v0, _ := mc.FetchPolicy()
+	hub.SetPolicy([][]float64{{0, 1}, {1, 0}}, 0.4)
+	p, rho, v1, err := mc.FetchPolicy()
+	if err != nil || v1 != v0+1 || rho != 0.4 || p[0][1] != 1 {
+		t.Fatalf("policy fetch wrong: %v %v %v %v", p, rho, v1, err)
+	}
+}
+
+func TestLocalNetReports(t *testing.T) {
+	hub := NewLocalNet()
+	var mu sync.Mutex
+	var got []float64
+	hub.OnReport(func(from, to int, secs float64) {
+		mu.Lock()
+		got = append(got, secs)
+		mu.Unlock()
+	})
+	if err := hub.Monitor().ReportTime(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != 2.5 {
+		t.Fatalf("reports = %v", got)
+	}
+}
+
+func TestTCPWorkerPull(t *testing.T) {
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return []float64{4, 5} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	peer := &TCPPeer{From: 0, Addr: srv.Addr()}
+	got, err := peer.PullModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 5 {
+		t.Fatalf("pulled %v", got)
+	}
+}
+
+func TestTCPWorkerConcurrentPulls(t *testing.T) {
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return []float64{7} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			peer := &TCPPeer{Addr: srv.Addr()}
+			if _, err := peer.PullModel(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPMonitorRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	reports := 0
+	srv, err := ServeMonitor("127.0.0.1:0", func(from, to int, secs float64) {
+		mu.Lock()
+		reports++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &TCPMonitorClient{Addr: srv.Addr()}
+	if err := client.ReportTime(0, 1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if reports != 1 {
+		t.Fatalf("reports = %d", reports)
+	}
+	mu.Unlock()
+
+	srv.SetPolicy([][]float64{{0, 1}, {1, 0}}, 0.7)
+	p, rho, v, err := client.FetchPolicy()
+	if err != nil || v != 1 || rho != 0.7 || p[1][0] != 1 {
+		t.Fatalf("policy = %v %v %v %v", p, rho, v, err)
+	}
+}
+
+func TestTCPPeerDialError(t *testing.T) {
+	peer := &TCPPeer{Addr: "127.0.0.1:1"} // reserved port, nothing listening
+	if _, err := peer.PullModel(); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestTCPServerCloseIdempotentAccept(t *testing.T) {
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After close, pulls must fail rather than hang.
+	peer := &TCPPeer{Addr: srv.Addr()}
+	if _, err := peer.PullModel(); err == nil {
+		t.Fatal("pull succeeded after close")
+	}
+}

@@ -1,0 +1,167 @@
+// Package netmax is a from-scratch Go reproduction of "Communication-
+// efficient Decentralized Machine Learning over Heterogeneous Networks"
+// (Zhou et al., ICDE 2021): the NetMax consensus-SGD algorithm, its Network
+// Monitor and communication-policy generator, the decentralized and
+// centralized baselines it is evaluated against, and a discrete-event
+// heterogeneous-network simulator that regenerates every table and figure
+// of the paper's evaluation.
+//
+// Quick start:
+//
+//	train, test := netmax.Dataset(netmax.SynthCIFAR10, 1)
+//	cfg := netmax.ClusterConfig(netmax.SimResNet18, train, test, 8, 40, 1)
+//	result := netmax.Train(cfg, netmax.Options{})
+//	fmt.Println(result.FinalAccuracy, result.TotalTime)
+//
+// See the examples directory for runnable scenarios and cmd/netmax-bench
+// for the experiment harness.
+package netmax
+
+import (
+	"netmax/internal/baselines"
+	"netmax/internal/core"
+	"netmax/internal/data"
+	"netmax/internal/engine"
+	"netmax/internal/experiments"
+	"netmax/internal/nn"
+	"netmax/internal/policy"
+	"netmax/internal/simnet"
+)
+
+// Config describes one training run (model, data partition, network,
+// hyper-parameters). See engine.Config for field documentation.
+type Config = engine.Config
+
+// Result aggregates the metrics of a run: loss curve, accuracy, virtual
+// wall-clock, and the computation/communication cost decomposition.
+type Result = engine.Result
+
+// Point is one sample of a training curve.
+type Point = engine.Point
+
+// Options tunes NetMax (monitor period Ts, EMA beta, policy grid size,
+// ablation switches).
+type Options = core.Options
+
+// Policy is a generated communication policy (P, rho, lambda2, predicted
+// convergence time).
+type Policy = policy.Policy
+
+// Model specs mirroring the paper's models (parameter counts and compute
+// costs preserved; see internal/nn).
+var (
+	SimMobileNet = nn.SimMobileNet
+	SimResNet18  = nn.SimResNet18
+	SimResNet50  = nn.SimResNet50
+	SimVGG19     = nn.SimVGG19
+	SimGoogLeNet = nn.SimGoogLeNet
+)
+
+// Dataset specs substituting the paper's datasets (class counts preserved).
+var (
+	SynthMNIST        = data.SynthMNIST
+	SynthCIFAR10      = data.SynthCIFAR10
+	SynthCIFAR100     = data.SynthCIFAR100
+	SynthTinyImageNet = data.SynthTinyImageNet
+	SynthImageNet     = data.SynthImageNet
+)
+
+// Dataset materializes a dataset spec deterministically.
+func Dataset(spec data.Spec, seed int64) (train, test *data.Dataset) {
+	return spec.Generate(seed)
+}
+
+// ClusterConfig builds a ready-to-run heterogeneous-cluster configuration:
+// `workers` nodes placed as in the paper (Section V-A), uniform data
+// partition, the dynamic 2-100x slow-link schedule, and the paper's
+// default hyper-parameters.
+func ClusterConfig(spec nn.ModelSpec, train, test *data.Dataset, workers, epochs int, seed int64) *Config {
+	evalN := 400
+	if evalN > train.Len() {
+		evalN = train.Len()
+	}
+	idx := make([]int, evalN)
+	for i := range idx {
+		idx[i] = i
+	}
+	topo := simnet.PaperCluster(workers)
+	return &Config{
+		Spec:         spec,
+		Part:         data.Uniform(train, workers, seed),
+		Eval:         train.Slice(idx),
+		Test:         test,
+		Net:          simnet.NewHeterogeneousPeriod(topo, seed, 1e7, experiments.SlowPeriod),
+		LR:           0.1,
+		Batch:        16,
+		Epochs:       epochs,
+		Seed:         seed,
+		Overlap:      true,
+		LRDecayEpoch: epochs * 7 / 10,
+	}
+}
+
+// HomogeneousConfig is ClusterConfig on the single-server 10 Gbps network.
+func HomogeneousConfig(spec nn.ModelSpec, train, test *data.Dataset, workers, epochs int, seed int64) *Config {
+	cfg := ClusterConfig(spec, train, test, workers, epochs, seed)
+	cfg.Net = simnet.NewHomogeneous(simnet.SingleMachine(workers))
+	return cfg
+}
+
+// Train runs NetMax (consensus SGD + Network Monitor) and returns the
+// aggregated result.
+func Train(cfg *Config, opts Options) *Result {
+	if opts.Ts <= 0 {
+		opts.Ts = experiments.MonitorTs
+	}
+	return core.Run(cfg, opts)
+}
+
+// Baseline trainers, for comparisons on identical configurations.
+var (
+	// TrainADPSGD runs asynchronous decentralized parallel SGD [Lian et al.].
+	TrainADPSGD = baselines.RunADPSGD
+	// TrainAllreduce runs synchronous ring-allreduce SGD.
+	TrainAllreduce = baselines.RunAllreduce
+	// TrainPrague runs Prague-style randomized partial allreduce.
+	TrainPrague = baselines.RunPrague
+	// TrainPSSync runs a synchronous parameter server.
+	TrainPSSync = baselines.RunPSSync
+	// TrainPSAsync runs an asynchronous parameter server.
+	TrainPSAsync = baselines.RunPSAsync
+	// TrainGossip runs GoSGD-style uniform gossip.
+	TrainGossip = baselines.RunGossip
+	// TrainSAPS runs SAPS-PSGD on the static initially-fast subgraph.
+	TrainSAPS = baselines.RunSAPS
+	// TrainDLion runs DLion-style capacity-proportional partial transfers.
+	TrainDLion = baselines.RunDLion
+	// TrainSyncDPSGD runs synchronous D-PSGD neighborhood averaging.
+	TrainSyncDPSGD = baselines.RunSyncDPSGD
+)
+
+// TrainHop runs Hop-style bounded-staleness gossip; staleness <= 0 selects
+// the default bound.
+func TrainHop(cfg *Config, staleness int) *Result {
+	return baselines.RunHop(cfg, staleness)
+}
+
+// TrainADPSGDMonitor runs the Section III-D extension: AD-PSGD steered by
+// the Network Monitor's adaptive policy.
+func TrainADPSGDMonitor(cfg *Config, opts Options) *Result {
+	if opts.Ts <= 0 {
+		opts.Ts = experiments.MonitorTs
+	}
+	return core.RunADPSGDMonitor(cfg, opts)
+}
+
+// GeneratePolicy runs Algorithm 3 directly on an iteration-time matrix:
+// times[i][m] is worker i's measured iteration time against neighbor m, adj
+// is the communication graph, alpha the SGD learning rate.
+func GeneratePolicy(times [][]float64, adj [][]bool, alpha float64) (*Policy, error) {
+	return policy.Generate(policy.Input{Times: times, Adj: adj, Alpha: alpha})
+}
+
+// Experiment regenerates a paper table/figure by id (fig3..fig19, tab2,
+// tab3, tab5, abl-*); see cmd/netmax-bench -list.
+func Experiment(id string, seed int64, quick bool) (*experiments.Result, error) {
+	return experiments.Run(id, experiments.Options{Seed: seed, Quick: quick})
+}

@@ -1,0 +1,68 @@
+package netmax
+
+import (
+	"testing"
+
+	"netmax/internal/simnet"
+)
+
+func TestPublicQuickstartPath(t *testing.T) {
+	train, test := Dataset(SynthMNIST, 1)
+	cfg := ClusterConfig(SimMobileNet, train, test, 4, 4, 1)
+	r := Train(cfg, Options{})
+	if r.Epochs != 4 {
+		t.Fatalf("epochs = %d", r.Epochs)
+	}
+	if r.FinalAccuracy < 0.8 {
+		t.Fatalf("accuracy = %v", r.FinalAccuracy)
+	}
+}
+
+func TestPublicBaselinesShareConfigShape(t *testing.T) {
+	train, test := Dataset(SynthMNIST, 1)
+	for _, f := range []func(*Config) *Result{TrainADPSGD, TrainAllreduce, TrainGossip} {
+		cfg := HomogeneousConfig(SimMobileNet, train, test, 4, 3, 1)
+		r := f(cfg)
+		if r.Epochs != 3 || r.TotalTime <= 0 {
+			t.Fatalf("baseline run incomplete: %+v", r)
+		}
+	}
+}
+
+func TestPublicGeneratePolicy(t *testing.T) {
+	times := [][]float64{
+		{0, 1, 5},
+		{1, 0, 5},
+		{5, 5, 0},
+	}
+	adj := simnet.FullyConnected(3)
+	pol, err := GeneratePolicy(times, adj, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Lambda2 <= 0 || pol.Lambda2 >= 1 {
+		t.Fatalf("lambda2 = %v", pol.Lambda2)
+	}
+	if pol.P[0][1] <= pol.P[0][2] {
+		t.Fatalf("fast neighbor not preferred: %v", pol.P[0])
+	}
+}
+
+func TestPublicExperiment(t *testing.T) {
+	res, err := Experiment("fig3", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("fig3 rows = %d", len(res.Rows))
+	}
+}
+
+func TestPublicADPSGDMonitor(t *testing.T) {
+	train, test := Dataset(SynthMNIST, 1)
+	cfg := ClusterConfig(SimMobileNet, train, test, 4, 3, 1)
+	r := TrainADPSGDMonitor(cfg, Options{})
+	if r.Algo != "AD-PSGD+Monitor" {
+		t.Fatalf("algo = %q", r.Algo)
+	}
+}
