@@ -7,30 +7,71 @@
 //	netmax-bench -exp tab2 -quick -seed 7
 //	netmax-bench -all -quick
 //	netmax-bench -exp fig12 -curves
+//	netmax-bench -all -quick -par 1 -bench-out BENCH_baseline.json -bench-label baseline
+//
+// -par pins the host parallelism of the compute core (1 = the serial
+// baseline, 0 = one worker per CPU); results are bitwise identical at any
+// setting, only wall-clock changes. -bench-out records per-experiment
+// wall-clock seconds as JSON so successive PRs can track the perf
+// trajectory (see BENCH_baseline.json at the repo root).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
+	"netmax/internal/engine"
 	"netmax/internal/experiments"
+	"netmax/internal/tensor"
 	"netmax/internal/trace"
 )
 
+// benchRecord is the schema of -bench-out files.
+type benchRecord struct {
+	Label       string           `json:"label"`
+	RecordedAt  string           `json:"recorded_at"`
+	GoMaxProcs  int              `json:"go_max_procs"`
+	Parallelism int              `json:"parallelism"` // 0 = NumCPU
+	Quick       bool             `json:"quick"`
+	Seed        int64            `json:"seed"`
+	Experiments []benchExpRecord `json:"experiments"`
+	TotalSecs   float64          `json:"total_seconds"`
+}
+
+type benchExpRecord struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id to regenerate (see -list)")
-		list   = flag.Bool("list", false, "list available experiments")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "reduced epochs/node counts for a fast pass")
-		seed   = flag.Int64("seed", 1, "random seed")
-		curves = flag.Bool("curves", false, "also print the raw figure series")
-		csvDir = flag.String("csv", "", "directory to write per-experiment curve CSVs into")
+		exp      = flag.String("exp", "", "experiment id to regenerate (see -list)")
+		list     = flag.Bool("list", false, "list available experiments")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "reduced epochs/node counts for a fast pass")
+		seed     = flag.Int64("seed", 1, "random seed")
+		curves   = flag.Bool("curves", false, "also print the raw figure series")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment curve CSVs into")
+		par      = flag.Int("par", 0, "host parallelism: 0 = NumCPU, 1 = serial; results are identical either way")
+		benchOut = flag.String("bench-out", "", "write per-experiment wall-clock seconds as JSON to this file")
+		benchLab = flag.String("bench-label", "run", "label stored in the -bench-out record")
 	)
 	flag.Parse()
+
+	if *par < 0 {
+		fmt.Fprintln(os.Stderr, "error: -par must be >= 0 (0 = NumCPU, 1 = serial)")
+		os.Exit(2)
+	}
+	engine.DefaultParallelism = *par
+	tensor.SetParallelism(*par)
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -39,52 +80,119 @@ func main() {
 		return
 	}
 	opt := experiments.Options{Seed: *seed, Quick: *quick}
-	runOne := func(id string) error {
+	record := &benchRecord{
+		Label:       *benchLab,
+		RecordedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: *par,
+		Quick:       *quick,
+		Seed:        *seed,
+	}
+	// runOne regenerates one experiment, reporting into w (buffered when
+	// experiments run concurrently, so output stays in listing order).
+	runOne := func(id string, w io.Writer) (float64, error) {
 		start := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		res.WriteTable(os.Stdout)
+		secs := time.Since(start).Seconds()
+		res.WriteTable(w)
 		if *curves {
-			res.WriteCurves(os.Stdout)
+			res.WriteCurves(w)
 		}
 		if *csvDir != "" && len(res.Curves) > 0 {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				return err
+				return 0, err
 			}
 			path := filepath.Join(*csvDir, id+".csv")
 			f, err := os.Create(path)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			if err := trace.WriteCurvesCSV(f, res.Curves); err != nil {
 				f.Close()
-				return err
+				return 0, err
 			}
 			if err := f.Close(); err != nil {
-				return err
+				return 0, err
 			}
-			fmt.Printf("curves written to %s\n", path)
+			fmt.Fprintf(w, "curves written to %s\n", path)
 		}
-		fmt.Printf("(%s regenerated in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
-		return nil
+		fmt.Fprintf(w, "(%s regenerated in %.3fs)\n\n", id, secs)
+		return secs, nil
 	}
 	switch {
 	case *all:
-		for _, r := range experiments.All() {
-			if err := runOne(r.ID); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+		// Independent experiments run under the bounded-parallelism driver;
+		// each one's output is buffered and printed in listing order. When
+		// recording a perf baseline, experiments run one at a time so the
+		// per-experiment seconds are contention-free and comparable across
+		// machines and PRs (each experiment still parallelizes internally
+		// per -par).
+		driverPar := engine.ResolveParallelism(0)
+		if *benchOut != "" {
+			driverPar = 1
+		}
+		runners := experiments.All()
+		outs := make([]bytes.Buffer, len(runners))
+		secs := make([]float64, len(runners))
+		errs := make([]error, len(runners))
+		// Stream each experiment's buffered output as soon as it and all
+		// its predecessors have finished, so -all reports progress live
+		// while still printing in listing order.
+		var mu sync.Mutex
+		done := make([]bool, len(runners))
+		printed := 0
+		engine.Concurrently(len(runners), driverPar, func(k int) {
+			secs[k], errs[k] = runOne(runners[k].ID, &outs[k])
+			mu.Lock()
+			done[k] = true
+			for printed < len(runners) && done[printed] {
+				if errs[printed] == nil {
+					os.Stdout.Write(outs[printed].Bytes())
+				} else {
+					fmt.Fprintf(os.Stderr, "error: %s: %v\n", runners[printed].ID, errs[printed])
+				}
+				printed++
+			}
+			mu.Unlock()
+		})
+		for k, r := range runners {
+			if errs[k] != nil {
+				// Already reported in-stream above.
 				os.Exit(1)
+			}
+			if *benchOut != "" {
+				record.Experiments = append(record.Experiments, benchExpRecord{ID: r.ID, Seconds: secs[k]})
+				record.TotalSecs += secs[k]
 			}
 		}
 	case *exp != "":
-		if err := runOne(*exp); err != nil {
+		s, err := runOne(*exp, os.Stdout)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
+		}
+		if *benchOut != "" {
+			record.Experiments = append(record.Experiments, benchExpRecord{ID: *exp, Seconds: s})
+			record.TotalSecs += s
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark record written to %s (total %.3fs)\n", *benchOut, record.TotalSecs)
 	}
 }

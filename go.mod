@@ -1,0 +1,3 @@
+module netmax
+
+go 1.24

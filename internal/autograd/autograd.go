@@ -6,6 +6,20 @@
 // node and accumulates gradients. This is the same execution model the paper's
 // PyTorch substrate provides, built from scratch because no deep-learning
 // framework is available in the target environment (see DESIGN.md §2).
+//
+// Allocation discipline: op outputs, non-leaf gradients and backward-pass
+// temporaries are drawn from the tensor arena (tensor.GetPooled) and handed
+// back once Backward finishes, so steady-state training reuses the same
+// buffers every iteration instead of allocating per op. Two consequences for
+// callers:
+//
+//   - A graph may be backpropagated at most once. After Backward the
+//     intermediate nodes' Data and Grad buffers have been recycled (only the
+//     root's Data and the leaves' Data/Grad survive); build a fresh graph
+//     for another pass — leaf gradients still accumulate across graphs.
+//   - Values must not be shared between graphs that are backpropagated
+//     separately: the first Backward would recycle buffers the second still
+//     needs. Leaves (parameters, constants) are exempt and freely shared.
 package autograd
 
 import (
@@ -22,6 +36,7 @@ type Value struct {
 	Grad *tensor.Tensor
 
 	requiresGrad bool
+	pooled       bool // Data is arena-owned: recycle it after Backward
 	parents      []*Value
 	backward     func() // accumulates into parents' Grad using v.Grad
 	label        string
@@ -50,9 +65,24 @@ func newOp(label string, data *tensor.Tensor, parents ...*Value) *Value {
 	return &Value{Data: data, requiresGrad: rg, parents: parents, label: label}
 }
 
+// newPooledOp is newOp for outputs drawn from the tensor arena; Backward
+// recycles their Data once the sweep completes.
+func newPooledOp(label string, data *tensor.Tensor, parents ...*Value) *Value {
+	v := newOp(label, data, parents...)
+	v.pooled = true
+	return v
+}
+
 func (v *Value) ensureGrad() {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Shape...)
+		if v.parents == nil {
+			// Leaf gradients persist across iterations (the optimizer reads
+			// them after Backward), so they are not arena-owned.
+			v.Grad = tensor.New(v.Data.Shape...)
+		} else {
+			// Must be zero-filled: accumulate adds into it.
+			v.Grad = tensor.GetPooled(v.Data.Shape...)
+		}
 	}
 }
 
@@ -65,9 +95,16 @@ func accumulate(p *Value, g *tensor.Tensor) {
 	p.Grad.AddInPlace(g)
 }
 
+// accumTemp accumulates an arena-owned temporary into p's gradient and
+// immediately returns the buffer to the arena.
+func accumTemp(p *Value, g *tensor.Tensor) {
+	accumulate(p, g)
+	tensor.Recycle(g)
+}
+
 // Add returns a + b.
 func Add(a, b *Value) *Value {
-	out := newOp("add", tensor.Add(a.Data, b.Data), a, b)
+	out := newPooledOp("add", tensor.AddInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, b.Data), a, b)
 	out.backward = func() {
 		accumulate(a, out.Grad)
 		accumulate(b, out.Grad)
@@ -77,106 +114,141 @@ func Add(a, b *Value) *Value {
 
 // Sub returns a - b.
 func Sub(a, b *Value) *Value {
-	out := newOp("sub", tensor.Sub(a.Data, b.Data), a, b)
+	out := newPooledOp("sub", tensor.SubInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, b.Data), a, b)
 	out.backward = func() {
 		accumulate(a, out.Grad)
-		accumulate(b, tensor.Scale(out.Grad, -1))
+		if b.requiresGrad {
+			accumTemp(b, tensor.ScaleInto(tensor.GetPooledDirty(out.Grad.Shape...), out.Grad, -1))
+		}
 	}
 	return out
 }
 
 // Mul returns the elementwise product a*b.
 func Mul(a, b *Value) *Value {
-	out := newOp("mul", tensor.Mul(a.Data, b.Data), a, b)
+	out := newPooledOp("mul", tensor.MulInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, b.Data), a, b)
 	out.backward = func() {
-		accumulate(a, tensor.Mul(out.Grad, b.Data))
-		accumulate(b, tensor.Mul(out.Grad, a.Data))
+		if a.requiresGrad {
+			accumTemp(a, tensor.MulInto(tensor.GetPooledDirty(out.Grad.Shape...), out.Grad, b.Data))
+		}
+		if b.requiresGrad {
+			accumTemp(b, tensor.MulInto(tensor.GetPooledDirty(out.Grad.Shape...), out.Grad, a.Data))
+		}
 	}
 	return out
 }
 
 // Scale returns a*s for scalar s.
 func Scale(a *Value, s float64) *Value {
-	out := newOp("scale", tensor.Scale(a.Data, s), a)
+	out := newPooledOp("scale", tensor.ScaleInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, s), a)
 	out.backward = func() {
-		accumulate(a, tensor.Scale(out.Grad, s))
+		if a.requiresGrad {
+			accumTemp(a, tensor.ScaleInto(tensor.GetPooledDirty(out.Grad.Shape...), out.Grad, s))
+		}
 	}
 	return out
 }
 
 // MatMul returns a@b for rank-2 values.
 func MatMul(a, b *Value) *Value {
-	out := newOp("matmul", tensor.MatMul(a.Data, b.Data), a, b)
+	out := newPooledOp("matmul", tensor.MatMulInto(tensor.GetPooledDirty(a.Data.Shape[0], b.Data.Shape[1]), a.Data, b.Data), a, b)
 	out.backward = func() {
 		// dA = dOut @ B^T ; dB = A^T @ dOut
-		accumulate(a, tensor.MatMul(out.Grad, tensor.Transpose(b.Data)))
-		accumulate(b, tensor.MatMul(tensor.Transpose(a.Data), out.Grad))
+		if a.requiresGrad {
+			bt := tensor.TransposeInto(tensor.GetPooledDirty(b.Data.Shape[1], b.Data.Shape[0]), b.Data)
+			accumTemp(a, tensor.MatMulInto(tensor.GetPooledDirty(a.Data.Shape...), out.Grad, bt))
+			tensor.Recycle(bt)
+		}
+		if b.requiresGrad {
+			at := tensor.TransposeInto(tensor.GetPooledDirty(a.Data.Shape[1], a.Data.Shape[0]), a.Data)
+			accumTemp(b, tensor.MatMulInto(tensor.GetPooledDirty(b.Data.Shape...), at, out.Grad))
+			tensor.Recycle(at)
+		}
 	}
 	return out
 }
 
 // AddRowVector adds a bias vector v to every row of rank-2 a.
 func AddRowVector(a, v *Value) *Value {
-	out := newOp("addrow", tensor.AddRowVector(a.Data, v.Data), a, v)
+	out := newPooledOp("addrow", tensor.AddRowVectorInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, v.Data), a, v)
 	out.backward = func() {
 		accumulate(a, out.Grad)
-		accumulate(v, tensor.SumRows(out.Grad))
+		if v.requiresGrad {
+			accumTemp(v, tensor.SumRowsInto(tensor.GetPooledDirty(v.Data.Len()), out.Grad))
+		}
 	}
 	return out
 }
 
 // ReLU returns max(x, 0) elementwise.
 func ReLU(a *Value) *Value {
-	out := newOp("relu", tensor.Apply(a.Data, func(x float64) float64 {
+	out := newPooledOp("relu", tensor.ApplyInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return 0
 	}), a)
 	out.backward = func() {
-		g := tensor.New(a.Data.Shape...)
+		if !a.requiresGrad {
+			return
+		}
+		// Zero-filled: only the positive positions are written below.
+		g := tensor.GetPooled(a.Data.Shape...)
 		for i, x := range a.Data.Data {
 			if x > 0 {
 				g.Data[i] = out.Grad.Data[i]
 			}
 		}
-		accumulate(a, g)
+		accumTemp(a, g)
 	}
 	return out
 }
 
 // Tanh returns tanh(x) elementwise.
 func Tanh(a *Value) *Value {
-	out := newOp("tanh", tensor.Apply(a.Data, math.Tanh), a)
+	out := newPooledOp("tanh", tensor.ApplyInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, math.Tanh), a)
 	out.backward = func() {
-		g := tensor.New(a.Data.Shape...)
+		if !a.requiresGrad {
+			return
+		}
+		g := tensor.GetPooledDirty(a.Data.Shape...)
 		for i, y := range out.Data.Data {
 			g.Data[i] = out.Grad.Data[i] * (1 - y*y)
 		}
-		accumulate(a, g)
+		accumTemp(a, g)
 	}
 	return out
 }
 
 // Mean returns the scalar mean of all elements as a 1-element value.
 func Mean(a *Value) *Value {
-	m := a.Data.Mean()
-	out := newOp("mean", tensor.FromSlice([]float64{m}, 1), a)
+	data := tensor.GetPooledDirty(1)
+	data.Data[0] = a.Data.Mean()
+	out := newPooledOp("mean", data, a)
 	out.backward = func() {
-		n := float64(a.Data.Len())
-		g := tensor.Full(out.Grad.Data[0]/n, a.Data.Shape...)
-		accumulate(a, g)
+		if !a.requiresGrad {
+			return
+		}
+		c := out.Grad.Data[0] / float64(a.Data.Len())
+		g := tensor.GetPooledDirty(a.Data.Shape...)
+		for i := range g.Data {
+			g.Data[i] = c
+		}
+		accumTemp(a, g)
 	}
 	return out
 }
 
 // SumSquares returns the scalar sum of squared elements (for L2 terms).
 func SumSquares(a *Value) *Value {
-	s := tensor.Dot(a.Data, a.Data)
-	out := newOp("sumsq", tensor.FromSlice([]float64{s}, 1), a)
+	data := tensor.GetPooledDirty(1)
+	data.Data[0] = tensor.Dot(a.Data, a.Data)
+	out := newPooledOp("sumsq", data, a)
 	out.backward = func() {
-		g := tensor.Scale(a.Data, 2*out.Grad.Data[0])
-		accumulate(a, g)
+		if !a.requiresGrad {
+			return
+		}
+		accumTemp(a, tensor.ScaleInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, 2*out.Grad.Data[0]))
 	}
 	return out
 }
@@ -189,7 +261,7 @@ func SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
 	if len(labels) != m {
 		panic(fmt.Sprintf("autograd: %d labels for %d rows", len(labels), m))
 	}
-	probs := tensor.New(m, n)
+	probs := tensor.GetPooledDirty(m, n)
 	loss := 0.0
 	for i := 0; i < m; i++ {
 		row := logits.Data.Data[i*n : (i+1)*n]
@@ -216,10 +288,12 @@ func SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
 		loss -= math.Log(p)
 	}
 	loss /= float64(m)
-	out := newOp("softmax-xent", tensor.FromSlice([]float64{loss}, 1), logits)
+	data := tensor.GetPooledDirty(1)
+	data.Data[0] = loss
+	out := newPooledOp("softmax-xent", data, logits)
 	out.backward = func() {
 		scale := out.Grad.Data[0] / float64(m)
-		g := tensor.New(m, n)
+		g := tensor.GetPooledDirty(m, n)
 		for i := 0; i < m; i++ {
 			prow := probs.Data[i*n : (i+1)*n]
 			grow := g.Data[i*n : (i+1)*n]
@@ -228,7 +302,8 @@ func SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
 			}
 			grow[labels[i]] -= scale
 		}
-		accumulate(logits, g)
+		tensor.Recycle(probs)
+		accumTemp(logits, g)
 	}
 	return out
 }
@@ -236,21 +311,25 @@ func SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
 // MSE returns mean squared error between prediction a and target t
 // (target receives no gradient).
 func MSE(a *Value, target *tensor.Tensor) *Value {
-	diff := tensor.Sub(a.Data, target)
-	loss := tensor.Dot(diff, diff) / float64(diff.Len())
-	out := newOp("mse", tensor.FromSlice([]float64{loss}, 1), a)
+	diff := tensor.SubInto(tensor.GetPooledDirty(a.Data.Shape...), a.Data, target)
+	data := tensor.GetPooledDirty(1)
+	data.Data[0] = tensor.Dot(diff, diff) / float64(diff.Len())
+	out := newPooledOp("mse", data, a)
 	out.backward = func() {
 		scale := 2 * out.Grad.Data[0] / float64(diff.Len())
-		accumulate(a, tensor.Scale(diff, scale))
+		accumTemp(a, tensor.ScaleInto(tensor.GetPooledDirty(diff.Shape...), diff, scale))
+		tensor.Recycle(diff)
 	}
 	return out
 }
 
 // Transpose2D returns the transpose of a rank-2 value.
 func Transpose2D(a *Value) *Value {
-	out := newOp("transpose", tensor.Transpose(a.Data), a)
+	out := newPooledOp("transpose", tensor.TransposeInto(tensor.GetPooledDirty(a.Data.Shape[1], a.Data.Shape[0]), a.Data), a)
 	out.backward = func() {
-		accumulate(a, tensor.Transpose(out.Grad))
+		if a.requiresGrad {
+			accumTemp(a, tensor.TransposeInto(tensor.GetPooledDirty(a.Data.Shape...), out.Grad))
+		}
 	}
 	return out
 }
@@ -265,10 +344,16 @@ func Reshape(a *Value, shape ...int) *Value {
 	if n != a.Data.Len() {
 		panic(fmt.Sprintf("autograd: Reshape %v to %v", a.Data.Shape, shape))
 	}
-	out := newOp("reshape", tensor.FromSlice(append([]float64(nil), a.Data.Data...), shape...), a)
+	data := tensor.GetPooledDirty(shape...)
+	copy(data.Data, a.Data.Data)
+	out := newPooledOp("reshape", data, a)
 	out.backward = func() {
-		g := tensor.FromSlice(append([]float64(nil), out.Grad.Data...), a.Data.Shape...)
-		accumulate(a, g)
+		if !a.requiresGrad {
+			return
+		}
+		g := tensor.GetPooledDirty(a.Data.Shape...)
+		copy(g.Data, out.Grad.Data)
+		accumTemp(a, g)
 	}
 	return out
 }
@@ -276,7 +361,9 @@ func Reshape(a *Value, shape ...int) *Value {
 // Custom creates a node with a user-supplied backward function: given the
 // node's output gradient it must return one gradient tensor per parent (nil
 // entries are skipped). This is the extension point used by layers whose
-// backward pass is cheaper to write directly (im2col, pooling).
+// backward pass is cheaper to write directly (im2col, pooling). Both data
+// and the returned gradients remain caller-owned: the arena never recycles
+// them.
 func Custom(label string, data *tensor.Tensor, parents []*Value, back func(grad *tensor.Tensor, parents []*Value) []*tensor.Tensor) *Value {
 	out := newOp(label, data, parents...)
 	out.backward = func() {
@@ -303,6 +390,12 @@ func (v *Value) Item() float64 {
 
 // Backward runs reverse-mode autodiff from v, which must be scalar.
 // Gradients accumulate into every reachable node with RequiresGrad.
+//
+// After the sweep the graph's intermediate buffers are returned to the
+// tensor arena: every non-leaf node loses its Grad, and every pooled op
+// output except v itself loses its Data. v's Data survives so the loss can
+// still be read with Item; leaf Data and Grad are never touched. The graph
+// must therefore not be backpropagated a second time.
 func Backward(v *Value) {
 	if v.Data.Len() != 1 {
 		panic("autograd: Backward requires a scalar output")
@@ -337,6 +430,22 @@ func Backward(v *Value) {
 		n := order[i]
 		if n.backward != nil && n.requiresGrad && n.Grad != nil {
 			n.backward()
+		}
+	}
+	// Release the graph's intermediates back to the arena. The root keeps
+	// its Data (callers read the loss after Backward); leaves keep both
+	// Data and Grad (the optimizer reads leaf gradients).
+	for _, n := range order {
+		if n.parents == nil {
+			continue
+		}
+		if n.Grad != nil {
+			tensor.Recycle(n.Grad)
+			n.Grad = nil
+		}
+		if n != v && n.pooled {
+			tensor.Recycle(n.Data)
+			n.Data = nil
 		}
 	}
 }

@@ -16,22 +16,29 @@ func RunAllreduce(cfg *engine.Config) *engine.Result {
 	vlen := ws[0].Model.VectorLen()
 	avg := make([]float64, vlen)
 	tmp := make([]float64, vlen)
+	par := cfg.EffectiveParallelism()
+	samples := make([]int, len(ws))
 
 	now := 0.0
 	for !tr.Done() {
+		// Gradients are computed concurrently (each worker touches only its
+		// own replica) and reduced serially in worker order below, so the
+		// floating-point sum is identical at any parallelism.
+		engine.Concurrently(len(ws), par, func(k int) {
+			_, samples[k] = ws[k].GradOnly()
+		})
 		totalSamples := 0
 		for i := range avg {
 			avg[i] = 0
 		}
-		for _, w := range ws {
-			_, samples := w.GradOnly()
+		for k, w := range ws {
 			w.Model.GradVector(tmp)
 			// Weight by batch size so segment workers contribute
 			// proportionally (Section V-F).
 			for i := range avg {
-				avg[i] += tmp[i] * float64(samples)
+				avg[i] += tmp[i] * float64(samples[k])
 			}
-			totalSamples += samples
+			totalSamples += samples[k]
 		}
 		for i := range avg {
 			avg[i] /= float64(totalSamples)

@@ -46,12 +46,15 @@ func RunSyncDPSGD(cfg *engine.Config) *engine.Result {
 		next[i] = make([]float64, vlen)
 	}
 
+	par := cfg.EffectiveParallelism()
 	now := 0.0
 	for !tr.Done() {
-		// Local gradient steps (parallel).
-		for _, w := range ws {
-			w.GradStep()
-		}
+		// Local gradient steps: conceptually parallel in the algorithm, and
+		// actually concurrent on the host (each worker only touches its own
+		// replica; the averaging below reads models serially afterwards).
+		engine.Concurrently(len(ws), par, func(k int) {
+			ws[k].GradStep()
+		})
 		for i, w := range ws {
 			w.Model.CopyVector(vecs[i])
 		}

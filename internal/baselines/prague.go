@@ -64,12 +64,13 @@ func RunPrague(cfg *engine.Config) *engine.Result {
 			}
 		}
 
-		// Local gradient steps.
+		// Local gradient steps: group members are distinct workers, so their
+		// steps (gradient + own optimizer) are independent and run
+		// concurrently; the model averaging below stays in member order.
 		samples := make([]int, g)
-		for k, w := range members {
-			_, s := ws[w].GradStep()
-			samples[k] = s
-		}
+		engine.Concurrently(g, cfg.EffectiveParallelism(), func(k int) {
+			_, samples[k] = ws[members[k]].GradStep()
+		})
 		// Partial allreduce: group model average.
 		for i := range mean {
 			mean[i] = 0

@@ -31,19 +31,25 @@ func RunPSSync(cfg *engine.Config) *engine.Result {
 		}
 	}
 
+	par := cfg.EffectiveParallelism()
+	samples := make([]int, len(ws))
 	now := 0.0
 	for !tr.Done() {
+		// Concurrent gradient computation, serial in-order reduction: see
+		// RunAllreduce for the determinism argument.
+		engine.Concurrently(len(ws), par, func(k int) {
+			_, samples[k] = ws[k].GradOnly()
+		})
 		totalSamples := 0
 		for i := range avg {
 			avg[i] = 0
 		}
-		for _, w := range ws {
-			_, samples := w.GradOnly()
+		for k, w := range ws {
 			w.Model.GradVector(tmp)
 			for i := range avg {
-				avg[i] += tmp[i] * float64(samples)
+				avg[i] += tmp[i] * float64(samples[k])
 			}
-			totalSamples += samples
+			totalSamples += samples[k]
 		}
 		for i := range avg {
 			avg[i] /= float64(totalSamples)

@@ -15,6 +15,7 @@ package core
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"netmax/internal/engine"
 	"netmax/internal/monitor"
@@ -41,6 +42,11 @@ type Options struct {
 	// monitor this is exactly the AD-PSGD+Monitor extension of
 	// Section III-D / Fig. 15.
 	FixedBlend bool
+	// Parallelism, when non-zero, overrides the engine config's host
+	// parallelism for this run (0 = leave the config's setting, which
+	// itself defaults to NumCPU; 1 = serial). Results are bitwise
+	// identical at any setting — see engine.Config.Parallelism.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -182,11 +188,23 @@ func (b *behavior) Tick(now float64) {
 	b.rho = pol.Rho
 }
 
+// withParallelism applies an Options-level parallelism override on a copy,
+// leaving the caller's config untouched for subsequent runs.
+func withParallelism(cfg *engine.Config, opts Options) *engine.Config {
+	if opts.Parallelism == 0 || opts.Parallelism == cfg.Parallelism {
+		return cfg
+	}
+	c := *cfg
+	c.Parallelism = opts.Parallelism
+	return &c
+}
+
 // Run trains with NetMax under cfg and returns the aggregated result.
 func Run(cfg *engine.Config, opts Options) *engine.Result {
+	cfg = withParallelism(cfg, opts)
 	b := newBehavior(cfg, opts)
 	r := engine.RunAsync(cfg, b, "NetMax")
-	DebugRegens = b.mon.Regenerations
+	debugRegens.Store(int64(b.mon.Regenerations))
 	return r
 }
 
@@ -194,12 +212,18 @@ func Run(cfg *engine.Config, opts Options) *engine.Result {
 // from the Network Monitor, but AD-PSGD's fixed averaging weight.
 func RunADPSGDMonitor(cfg *engine.Config, opts Options) *engine.Result {
 	opts.FixedBlend = true
+	cfg = withParallelism(cfg, opts)
 	return engine.RunAsync(cfg, newBehavior(cfg, opts), "AD-PSGD+Monitor")
 }
 
 // Monitor exposes the behavior's monitor for observability in tests.
 func (b *behavior) Monitor() *monitor.Monitor { return b.mon }
 
-// DebugRegens records the regeneration count of the most recent Run for
-// diagnostics; not for production use.
-var DebugRegens int
+// debugRegens records the regeneration count of the most recent Run for
+// diagnostics; atomic because the experiment driver runs algorithms
+// concurrently. Not for production use.
+var debugRegens atomic.Int64
+
+// DebugRegens returns the Network Monitor regeneration count of the most
+// recently finished Run.
+func DebugRegens() int { return int(debugRegens.Load()) }

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"math/rand"
+
+	"netmax/internal/tensor"
 )
 
 // AsyncBehavior parameterizes the shared asynchronous pull loop: NetMax,
@@ -50,10 +52,25 @@ type PartialTransferrer interface {
 // completion order on the virtual clock; each event atomically performs one
 // worker iteration (select peer, snapshot its model, local gradient step,
 // blend) and schedules the next completion.
+//
+// When cfg allows host parallelism, all events sharing the earliest virtual
+// timestamp are drained together and their gradient computations — which
+// touch only each worker's own replica — run concurrently before the
+// mutating tail of every iteration (optimizer step, peer snapshot, blend,
+// bookkeeping) is applied serially in event order. A gradient whose replica
+// was retroactively written by an earlier same-timestamp event (two-sided
+// blending) is recomputed serially on the same batch. The schedule, the
+// peer draws and every floating-point reduction therefore happen exactly as
+// in the serial loop, keeping results bitwise identical at any Parallelism.
 func RunAsync(cfg *Config, b AsyncBehavior, algo string) *Result {
 	ws := cfg.Workers()
 	tr := NewTracker(cfg, ws, algo)
 	bytes := cfg.Spec.ModelBytes()
+	par := cfg.EffectiveParallelism()
+	symmetric := false
+	if sb, ok := b.(SymmetricBlender); ok {
+		symmetric = sb.Symmetric()
+	}
 
 	var q Queue
 	// Pending bookkeeping per worker: costs of the iteration in flight.
@@ -68,48 +85,106 @@ func RunAsync(cfg *Config, b AsyncBehavior, algo string) *Result {
 		q.Push(0, i)
 	}
 	snapshot := make([]float64, ws[0].Model.VectorLen())
+
+	// batch holds the events drained for one timestamp; job keeps the
+	// pre-fetched training batch so a conflicting gradient can be redone on
+	// identical data.
+	type job struct {
+		id     int
+		x      *tensor.Tensor
+		labels []int
+	}
+	batch := make([]job, 0, len(ws))
+	// dirty[i] marks worker i's replica as written by an earlier event of
+	// the current batch after i's gradient was precomputed.
+	dirty := make([]bool, len(ws))
+
+events:
 	for !tr.Done() && q.Len() > 0 {
-		now, i := q.Pop()
-		// Flush the completed iteration's accounting.
-		if p := pend[i]; p.samples > 0 {
-			tr.OnIteration(now, p.samples, p.comp, p.comm)
-			if tr.Done() {
-				break
+		now, first := q.Pop()
+		batch = append(batch[:0], job{id: first})
+		if par > 1 {
+			for {
+				t, ok := q.PeekTime()
+				if !ok || t != now {
+					break
+				}
+				_, id := q.Pop()
+				batch = append(batch, job{id: id})
 			}
 		}
-		b.Tick(now)
-		w := ws[i]
-		j := b.SelectPeer(i, now, w.Rng)
-		_, samples := w.GradStep() // first update (local gradients)
-		if j != i {
-			ws[j].Model.CopyVector(snapshot) // pull x_j (freshest params)
-			coef := b.BlendCoef(i, j)
-			if sb, ok := b.(SymmetricBlender); ok && sb.Symmetric() {
-				// Two-sided atomic averaging: j also moves toward i's
-				// (pre-blend) model with the same coefficient.
-				own := w.Model.Vector()
-				w.Model.BlendVector(coef, snapshot)
-				ws[j].Model.BlendVector(coef, own)
+		prefetched := len(batch) > 1
+		if prefetched {
+			// Draw every batch in event order (cursor advances are
+			// per-worker, so the order is cosmetic but kept identical to
+			// the serial loop), then compute all gradients concurrently.
+			for k := range batch {
+				batch[k].x, batch[k].labels = ws[batch[k].id].NextBatch()
+			}
+			Concurrently(len(batch), par, func(k int) {
+				ws[batch[k].id].ComputeGrad(batch[k].x, batch[k].labels)
+			})
+			for i := range dirty {
+				dirty[i] = false
+			}
+		}
+		for k := range batch {
+			i := batch[k].id
+			// Flush the completed iteration's accounting.
+			if p := pend[i]; p.samples > 0 {
+				tr.OnIteration(now, p.samples, p.comp, p.comm)
+				if tr.Done() {
+					break events
+				}
+			}
+			b.Tick(now)
+			w := ws[i]
+			j := b.SelectPeer(i, now, w.Rng)
+			var samples int
+			if prefetched {
+				if dirty[i] {
+					// An earlier same-timestamp event blended into this
+					// replica after its gradient was precomputed; redo the
+					// computation on the same batch against the current
+					// parameters, exactly as the serial loop would.
+					w.ComputeGrad(batch[k].x, batch[k].labels)
+				}
+				w.ApplyStep()
+				samples = w.Batch
 			} else {
-				w.Model.BlendVector(coef, snapshot)
+				_, samples = w.GradStep() // first update (local gradients)
 			}
+			if j != i {
+				ws[j].Model.CopyVector(snapshot) // pull x_j (freshest params)
+				coef := b.BlendCoef(i, j)
+				if symmetric {
+					// Two-sided atomic averaging: j also moves toward i's
+					// (pre-blend) model with the same coefficient.
+					own := w.Model.Vector()
+					w.Model.BlendVector(coef, snapshot)
+					ws[j].Model.BlendVector(coef, own)
+					dirty[j] = true
+				} else {
+					w.Model.BlendVector(coef, snapshot)
+				}
+			}
+			moved := bytes
+			if pt, ok := b.(PartialTransferrer); ok {
+				moved = pt.TransferBytes(bytes)
+			}
+			if j != i {
+				tr.AddBytes(moved)
+			}
+			iterSecs := cfg.Net.IterationTime(i, j, moved, cfg.ComputeSecs(i), now, cfg.Overlap)
+			b.OnIterationEnd(i, j, iterSecs, now)
+			comp := cfg.ComputeSecs(i)
+			commCost := iterSecs - comp
+			if commCost < 0 {
+				commCost = 0
+			}
+			pend[i] = pending{samples: samples, comp: comp, comm: commCost}
+			q.Push(now+iterSecs, i)
 		}
-		moved := bytes
-		if pt, ok := b.(PartialTransferrer); ok {
-			moved = pt.TransferBytes(bytes)
-		}
-		if j != i {
-			tr.AddBytes(moved)
-		}
-		iterSecs := cfg.Net.IterationTime(i, j, moved, cfg.ComputeSecs(i), now, cfg.Overlap)
-		b.OnIterationEnd(i, j, iterSecs, now)
-		comp := cfg.ComputeSecs(i)
-		commCost := iterSecs - comp
-		if commCost < 0 {
-			commCost = 0
-		}
-		pend[i] = pending{samples: samples, comp: comp, comm: commCost}
-		q.Push(now+iterSecs, i)
 	}
 	return tr.Finish()
 }

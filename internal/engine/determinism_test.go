@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"netmax/internal/simnet"
+)
+
+// lockstepBehavior deterministically pulls from the next worker in the ring.
+// On a homogeneous network every iteration takes the same time, so all
+// workers' events share every timestamp — the worst case (largest batches)
+// for the parallel stepping path.
+type lockstepBehavior struct {
+	m         int
+	symmetric bool
+}
+
+func (l *lockstepBehavior) SelectPeer(i int, now float64, rng *rand.Rand) int {
+	// Draw from the worker RNG even though the choice is modular, so the
+	// test also verifies that RNG consumption order is preserved.
+	_ = rng.Float64()
+	return (i + 1) % l.m
+}
+func (l *lockstepBehavior) BlendCoef(i, j int) float64              { return 0.25 }
+func (l *lockstepBehavior) OnIterationEnd(i, j int, t, now float64) {}
+func (l *lockstepBehavior) Tick(now float64)                        {}
+func (l *lockstepBehavior) Symmetric() bool                         { return l.symmetric }
+
+func resultsIdentical(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	if a.FinalLoss != b.FinalLoss {
+		t.Fatalf("%s: FinalLoss %v vs %v", name, a.FinalLoss, b.FinalLoss)
+	}
+	if a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatalf("%s: FinalAccuracy %v vs %v", name, a.FinalAccuracy, b.FinalAccuracy)
+	}
+	if a.TotalTime != b.TotalTime {
+		t.Fatalf("%s: TotalTime %v vs %v", name, a.TotalTime, b.TotalTime)
+	}
+	if a.GlobalSteps != b.GlobalSteps || a.Epochs != b.Epochs || a.BytesSent != b.BytesSent {
+		t.Fatalf("%s: steps/epochs/bytes differ: %+v vs %+v", name, a, b)
+	}
+	if a.CompSecs != b.CompSecs || a.CommSecs != b.CommSecs {
+		t.Fatalf("%s: cost decomposition differs", name)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("%s: curve lengths %d vs %d", name, len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("%s: curve[%d] = %+v vs %+v", name, i, a.Curve[i], b.Curve[i])
+		}
+	}
+}
+
+// TestRunAsyncParallelismBitwiseDeterministic is the regression gate for the
+// concurrent stepping path: Parallelism 4 must produce a Result — loss
+// curve, accuracy, virtual clock, traffic — identical to Parallelism 1 for
+// a fixed seed, for one-sided blending, two-sided (symmetric) blending, and
+// randomized peer selection under a heterogeneous clock.
+func TestRunAsyncParallelismBitwiseDeterministic(t *testing.T) {
+	cases := []struct {
+		name  string
+		run   func(par int) *Result
+	}{
+		{"lockstep one-sided", func(par int) *Result {
+			cfg := testConfig(4, 3)
+			cfg.Parallelism = par
+			return RunAsync(cfg, &lockstepBehavior{m: 4}, "ls")
+		}},
+		{"lockstep symmetric", func(par int) *Result {
+			cfg := testConfig(4, 3)
+			cfg.Parallelism = par
+			return RunAsync(cfg, &lockstepBehavior{m: 4, symmetric: true}, "lss")
+		}},
+		{"random peers heterogeneous clock", func(par int) *Result {
+			cfg := testConfig(4, 3)
+			cfg.Net = simnet.NewStatic(simnet.PaperCluster(4))
+			cfg.Parallelism = par
+			return RunAsync(cfg, &simpleBehavior{m: 4}, "rnd")
+		}},
+	}
+	for _, tc := range cases {
+		serial := tc.run(1)
+		parallel := tc.run(4)
+		resultsIdentical(t, tc.name, serial, parallel)
+	}
+}
+
+// TestConcurrentlyCoversAllIndices pins the scheduling helper's contract.
+func TestConcurrentlyCoversAllIndices(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 64} {
+		hits := make([]int, 33)
+		Concurrently(len(hits), par, func(k int) { hits[k]++ })
+		for k, h := range hits {
+			if h != 1 {
+				t.Fatalf("par=%d: index %d ran %d times", par, k, h)
+			}
+		}
+	}
+}
+
+func TestResolveParallelism(t *testing.T) {
+	if got := ResolveParallelism(1); got != 1 {
+		t.Fatalf("ResolveParallelism(1) = %d", got)
+	}
+	if got := ResolveParallelism(6); got != 6 {
+		t.Fatalf("ResolveParallelism(6) = %d", got)
+	}
+	if got := ResolveParallelism(0); got < 1 {
+		t.Fatalf("ResolveParallelism(0) = %d, want >= 1", got)
+	}
+	prev := DefaultParallelism
+	DefaultParallelism = 3
+	if got := ResolveParallelism(0); got != 3 {
+		t.Fatalf("ResolveParallelism(0) with default 3 = %d", got)
+	}
+	DefaultParallelism = prev
+}

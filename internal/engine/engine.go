@@ -53,7 +53,17 @@ type Config struct {
 	// resource dimension the paper's related work (Prague, Hop) targets.
 	// Nil means every worker computes at the model's nominal speed.
 	ComputeScale []float64
+	// Parallelism bounds how many workers' gradient computations run
+	// concurrently on the host when their virtual-clock events are
+	// independent: 0 defers to DefaultParallelism (and ultimately NumCPU),
+	// 1 reproduces the historical serial loop, n > 1 allows n concurrent
+	// steps. Every setting produces bitwise-identical results — parallel
+	// stepping only reorders host work, never virtual-clock arithmetic.
+	Parallelism int
 }
+
+// EffectiveParallelism resolves the config's Parallelism setting.
+func (c *Config) EffectiveParallelism() int { return ResolveParallelism(c.Parallelism) }
 
 // ComputeSecs returns worker i's per-iteration gradient time under the
 // configured compute heterogeneity.
@@ -118,28 +128,46 @@ type Worker struct {
 	cursor int
 }
 
-// GradStep runs one local SGD step (Algorithm 2 line 11: first update) on
-// the worker's next batch and returns the batch loss and sample count.
-func (w *Worker) GradStep() (loss float64, samples int) {
-	x, labels := w.Shard.Batch(w.cursor, w.Batch)
+// NextBatch returns the worker's next training batch and advances its
+// cursor. Split out from GradStep so batch selection (which must follow the
+// deterministic event order) can be separated from gradient computation
+// (which may run concurrently with other workers').
+func (w *Worker) NextBatch() (x *tensor.Tensor, labels []int) {
+	x, labels = w.Shard.Batch(w.cursor, w.Batch)
 	w.cursor = (w.cursor + w.Batch) % w.Shard.Len()
+	return x, labels
+}
+
+// ComputeGrad runs forward+backward on (x, labels), leaving the gradients in
+// the model's Grad buffers, and returns the batch loss. It touches only this
+// worker's replica, so distinct workers' ComputeGrad calls are safe to run
+// concurrently.
+func (w *Worker) ComputeGrad(x *tensor.Tensor, labels []int) float64 {
 	w.Model.ZeroGrad()
 	l := w.Model.Loss(x, labels)
 	backward(l)
-	w.Opt.Step(w.Model)
-	return l.Item(), w.Batch
+	return l.Item()
+}
+
+// ApplyStep applies the optimizer to the gradients left by ComputeGrad
+// (Algorithm 2 line 11: first update).
+func (w *Worker) ApplyStep() { w.Opt.Step(w.Model) }
+
+// GradStep runs one local SGD step (Algorithm 2 line 11: first update) on
+// the worker's next batch and returns the batch loss and sample count.
+func (w *Worker) GradStep() (loss float64, samples int) {
+	x, labels := w.NextBatch()
+	loss = w.ComputeGrad(x, labels)
+	w.ApplyStep()
+	return loss, w.Batch
 }
 
 // GradOnly computes gradients on the worker's next batch without applying
 // them (they remain in the model's Grad buffers), for algorithms that
 // average gradients across workers before stepping (Allreduce-SGD, PS-syn).
 func (w *Worker) GradOnly() (loss float64, samples int) {
-	x, labels := w.Shard.Batch(w.cursor, w.Batch)
-	w.cursor = (w.cursor + w.Batch) % w.Shard.Len()
-	w.Model.ZeroGrad()
-	l := w.Model.Loss(x, labels)
-	backward(l)
-	return l.Item(), w.Batch
+	x, labels := w.NextBatch()
+	return w.ComputeGrad(x, labels), w.Batch
 }
 
 // ApplyGrad runs the worker's optimizer against the gradient vector g
@@ -339,6 +367,15 @@ func (q *Queue) Push(time float64, id int) {
 func (q *Queue) Pop() (time float64, id int) {
 	e := heap.Pop(&q.h).(event)
 	return e.time, e.id
+}
+
+// PeekTime returns the earliest pending event's time without removing it;
+// ok is false when the queue is empty.
+func (q *Queue) PeekTime() (time float64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].time, true
 }
 
 // Len returns the number of pending events.

@@ -216,11 +216,15 @@ func homNet(workers int) func(seed int64) *simnet.Network {
 }
 
 // runAll executes every algorithm on an identical fresh workload/config.
+// Algorithms run concurrently under the bounded-parallelism driver — each
+// builds its own config (fresh network, fresh workers) over the shared
+// read-only workload, and every run is internally deterministic, so results
+// land in reporting order regardless of scheduling.
 func runAll(algos []algo, p cfgParams) []*engine.Result {
-	out := make([]*engine.Result, 0, len(algos))
-	for _, a := range algos {
-		out = append(out, a.run(p.config(p.seed)))
-	}
+	out := make([]*engine.Result, len(algos))
+	engine.Concurrently(len(algos), engine.ResolveParallelism(0), func(k int) {
+		out[k] = algos[k].run(p.config(p.seed))
+	})
 	return out
 }
 

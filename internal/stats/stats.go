@@ -52,9 +52,11 @@ func (s Summary) String() string {
 // Replicate runs a seeded experiment n times and returns its results.
 func Replicate(n int, baseSeed int64, run func(seed int64) *engine.Result) []*engine.Result {
 	out := make([]*engine.Result, n)
-	for i := 0; i < n; i++ {
+	// Seeds are disjoint and runs are internally deterministic, so the
+	// replicas execute concurrently and land in seed order.
+	engine.Concurrently(n, engine.ResolveParallelism(0), func(i int) {
 		out[i] = run(baseSeed + int64(i)*1000)
-	}
+	})
 	return out
 }
 

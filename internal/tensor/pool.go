@@ -1,0 +1,71 @@
+package tensor
+
+import (
+	"sync"
+)
+
+// The tensor arena: size-keyed free lists of whole *Tensor objects backed by
+// sync.Pool, so hot loops (the autograd tape, the engine's per-iteration
+// batches) reuse both the float64 storage and the Tensor header across
+// iterations instead of allocating ~every op.
+//
+// Lifecycle rules:
+//
+//   - GetPooled returns a zero-filled tensor indistinguishable from New.
+//   - Recycle hands a tensor back to the arena. The caller must own the
+//     tensor outright: no other live reference to it or its Data may remain,
+//     and it must not be used afterwards. Recycling the same tensor twice is
+//     a bug (two future GetPooled calls would alias the same storage).
+//   - Tensors that are never recycled are simply collected by the GC; the
+//     arena holds no reference to handed-out tensors, so "leaking" one is
+//     always safe.
+//
+// Arena tensors are keyed by element count, not shape: a recycled (4, 8)
+// tensor may come back as (32) or (8, 4). Shapes are rewritten on Get.
+var arena sync.Map // int (element count) -> *sync.Pool of *Tensor
+
+func arenaFor(n int) *sync.Pool {
+	if p, ok := arena.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := arena.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// GetPooled returns a zero-filled tensor of the given shape, reusing arena
+// storage when a tensor of the same element count has been Recycled.
+func GetPooled(shape ...int) *Tensor {
+	t := GetPooledDirty(shape...)
+	clear(t.Data)
+	return t
+}
+
+// GetPooledDirty is GetPooled without the zero fill: the contents are
+// unspecified (stale data from a previous owner on an arena hit). Use it
+// only when every element is about to be overwritten — destinations of
+// overwriting Into kernels, full copies, full fills — to skip a redundant
+// memory pass on the hot path.
+func GetPooledDirty(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if v := arenaFor(n).Get(); v != nil {
+		t := v.(*Tensor)
+		t.Shape = append(t.Shape[:0], shape...)
+		return t
+	}
+	return New(shape...)
+}
+
+// Recycle returns tensors to the arena for reuse by GetPooled. See the
+// package lifecycle rules: the caller must hold the only live reference, and
+// the tensors must not be touched afterwards. Nil entries are ignored.
+func Recycle(ts ...*Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		arenaFor(len(t.Data)).Put(t)
+	}
+}

@@ -4,7 +4,12 @@
 // Tensors are row-major, at most rank 2 in practice (the model zoo uses
 // vectors and matrices), but the type supports arbitrary rank. All operations
 // allocate their result unless the method name ends in "Into" or is
-// documented as in-place.
+// documented as in-place; "Into" variants write into a caller-owned
+// destination so hot loops can reuse buffers (see GetPooled/Recycle for the
+// size-keyed arena they pair with). Large MatMuls shard row panels across a
+// persistent worker pool sized to runtime.NumCPU() (see SetParallelism);
+// sharding never changes arithmetic order, so parallel results are bitwise
+// identical to serial ones.
 package tensor
 
 import (
@@ -119,43 +124,72 @@ func assertSameShape(op string, a, b *Tensor) {
 	}
 }
 
+func assertSameLen(op string, dst, a *Tensor) {
+	if len(dst.Data) != len(a.Data) {
+		panic(fmt.Sprintf("tensor: %s dst length %d, want %d", op, len(dst.Data), len(a.Data)))
+	}
+}
+
 // Add returns a + b elementwise.
 func Add(a, b *Tensor) *Tensor {
-	assertSameShape("Add", a, b)
-	out := New(a.Shape...)
+	return AddInto(New(a.Shape...), a, b)
+}
+
+// AddInto writes a + b elementwise into dst (same element count as a and b).
+// dst may alias either operand.
+func AddInto(dst, a, b *Tensor) *Tensor {
+	assertSameShape("AddInto", a, b)
+	assertSameLen("AddInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
+		dst.Data[i] = a.Data[i] + b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
-	assertSameShape("Sub", a, b)
-	out := New(a.Shape...)
+	return SubInto(New(a.Shape...), a, b)
+}
+
+// SubInto writes a - b elementwise into dst (same element count as a and b).
+// dst may alias either operand.
+func SubInto(dst, a, b *Tensor) *Tensor {
+	assertSameShape("SubInto", a, b)
+	assertSameLen("SubInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
+		dst.Data[i] = a.Data[i] - b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Mul returns the elementwise (Hadamard) product.
 func Mul(a, b *Tensor) *Tensor {
-	assertSameShape("Mul", a, b)
-	out := New(a.Shape...)
+	return MulInto(New(a.Shape...), a, b)
+}
+
+// MulInto writes the elementwise product a*b into dst (same element count).
+// dst may alias either operand.
+func MulInto(dst, a, b *Tensor) *Tensor {
+	assertSameShape("MulInto", a, b)
+	assertSameLen("MulInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
+		dst.Data[i] = a.Data[i] * b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Scale returns a*s.
 func Scale(a *Tensor, s float64) *Tensor {
-	out := New(a.Shape...)
+	return ScaleInto(New(a.Shape...), a, s)
+}
+
+// ScaleInto writes a*s into dst (same element count). dst may alias a.
+func ScaleInto(dst, a *Tensor, s float64) *Tensor {
+	assertSameLen("ScaleInto", dst, a)
 	for i := range a.Data {
-		out.Data[i] = a.Data[i] * s
+		dst.Data[i] = a.Data[i] * s
 	}
-	return out
+	return dst
 }
 
 // AddInPlace adds b into a.
@@ -188,31 +222,37 @@ func (t *Tensor) Zero() {
 	}
 }
 
-// MatMul returns a@b for rank-2 tensors.
-func MatMul(a, b *Tensor) *Tensor {
+func checkMatMulShapes(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 operands")
 	}
-	m, k, k2, n := a.Shape[0], a.Shape[1], b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	m, k, n = a.Shape[0], a.Shape[1], b.Shape[1]
+	if k != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, b.Shape[0]))
 	}
+	return m, k, n
+}
+
+// MatMul returns a@b for rank-2 tensors. Large products are sharded across
+// the package worker pool (see MatMulInto for the reuse variant); results
+// are bitwise identical at any parallel degree.
+func MatMul(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMulShapes(a, b)
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	matMulInto(out, a, b)
 	return out
+}
+
+// MatMulInto computes a@b into dst, which must have shape (a rows, b cols)
+// and must not alias a or b. dst is overwritten, not accumulated into.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, _, n := checkMatMulShapes(a, b)
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	dst.Zero()
+	matMulInto(dst, a, b)
+	return dst
 }
 
 // Transpose returns the transpose of a rank-2 tensor.
@@ -220,14 +260,31 @@ func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires rank-2 operand")
 	}
+	out := New(a.Shape[1], a.Shape[0])
+	transposeInto(out, a)
+	return out
+}
+
+// TransposeInto writes the transpose of rank-2 a into dst, which must have
+// shape (a cols, a rows) and must not alias a.
+func TransposeInto(dst, a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: TransposeInto requires rank-2 operand")
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != a.Shape[1] || dst.Shape[1] != a.Shape[0] {
+		panic(fmt.Sprintf("tensor: TransposeInto dst shape %v for operand %v", dst.Shape, a.Shape))
+	}
+	transposeInto(dst, a)
+	return dst
+}
+
+func transposeInto(dst, a *Tensor) {
 	m, n := a.Shape[0], a.Shape[1]
-	out := New(n, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
+			dst.Data[j*m+i] = a.Data[i*n+j]
 		}
 	}
-	return out
 }
 
 // Sum returns the sum of all elements.
@@ -266,11 +323,17 @@ func (t *Tensor) Norm2() float64 {
 
 // Apply returns f applied elementwise.
 func Apply(a *Tensor, f func(float64) float64) *Tensor {
-	out := New(a.Shape...)
+	return ApplyInto(New(a.Shape...), a, f)
+}
+
+// ApplyInto writes f applied elementwise over a into dst (same element
+// count). dst may alias a: the transform is purely elementwise.
+func ApplyInto(dst, a *Tensor, f func(float64) float64) *Tensor {
+	assertSameLen("ApplyInto", dst, a)
 	for i, v := range a.Data {
-		out.Data[i] = f(v)
+		dst.Data[i] = f(v)
 	}
-	return out
+	return dst
 }
 
 // ArgMaxRow returns the index of the maximum element of row i (rank-2).
@@ -288,29 +351,44 @@ func (t *Tensor) ArgMaxRow(i int) int {
 
 // AddRowVector adds vector v (length = cols) to every row of a rank-2 tensor.
 func AddRowVector(a, v *Tensor) *Tensor {
+	return AddRowVectorInto(New(a.Shape...), a, v)
+}
+
+// AddRowVectorInto writes a + v (v broadcast over rows) into dst (same
+// element count as a). dst may alias a.
+func AddRowVectorInto(dst, a, v *Tensor) *Tensor {
 	m, n := a.Shape[0], a.Shape[1]
 	if v.Len() != n {
 		panic(fmt.Sprintf("tensor: AddRowVector length %d vs cols %d", v.Len(), n))
 	}
-	out := New(m, n)
+	assertSameLen("AddRowVectorInto", dst, a)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			out.Data[i*n+j] = a.Data[i*n+j] + v.Data[j]
+			dst.Data[i*n+j] = a.Data[i*n+j] + v.Data[j]
 		}
 	}
-	return out
+	return dst
 }
 
 // SumRows returns the column-wise sums of a rank-2 tensor as a vector.
 func SumRows(a *Tensor) *Tensor {
+	return SumRowsInto(New(a.Shape[1]), a)
+}
+
+// SumRowsInto writes the column-wise sums of rank-2 a into vector dst
+// (length = a cols), overwriting it. dst must not alias a.
+func SumRowsInto(dst, a *Tensor) *Tensor {
 	m, n := a.Shape[0], a.Shape[1]
-	out := New(n)
+	if dst.Len() != n {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst length %d, want %d", dst.Len(), n))
+	}
+	dst.Zero()
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			out.Data[j] += a.Data[i*n+j]
+			dst.Data[j] += a.Data[i*n+j]
 		}
 	}
-	return out
+	return dst
 }
 
 // MaxAbs returns the maximum absolute element value (0 for empty tensors).

@@ -15,6 +15,20 @@
 //
 // See the examples directory for runnable scenarios and cmd/netmax-bench
 // for the experiment harness.
+//
+// # Performance
+//
+// The compute core scales with the host: large tensor products shard across
+// a persistent worker pool, the autograd tape reuses buffers from a
+// size-keyed arena instead of allocating per op, and the discrete-event
+// engine steps workers whose events are independent at the same virtual
+// timestamp concurrently. All of it is bitwise deterministic — results are
+// identical at any parallelism, only wall-clock changes. Config.Parallelism
+// (or Options.Parallelism for NetMax runs) bounds the concurrency: 0 means
+// one worker per CPU, 1 reproduces the serial loop. cmd/netmax-bench -par
+// pins it process-wide and -bench-out records the perf trajectory (see
+// BENCH_baseline.json / BENCH_pr1.json and README.md for the buffer-pool
+// lifecycle rules).
 package netmax
 
 import (
