@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,6 +64,8 @@ func main() {
 		par      = flag.Int("par", 0, "host parallelism: 0 = NumCPU, 1 = serial; results are identical either way")
 		benchOut = flag.String("bench-out", "", "write per-experiment wall-clock seconds as JSON to this file")
 		benchLab = flag.String("bench-label", "run", "label stored in the -bench-out record")
+		benchCmp = flag.String("bench-compare", "", "baseline -bench-out JSON to compare the recorded timings against; exits 1 on regression")
+		benchTol = flag.Float64("bench-threshold", 1.30, "regression factor for -bench-compare: fail when new/old exceeds this")
 	)
 	flag.Parse()
 
@@ -126,12 +129,12 @@ func main() {
 	case *all:
 		// Independent experiments run under the bounded-parallelism driver;
 		// each one's output is buffered and printed in listing order. When
-		// recording a perf baseline, experiments run one at a time so the
-		// per-experiment seconds are contention-free and comparable across
-		// machines and PRs (each experiment still parallelizes internally
-		// per -par).
+		// recording or comparing a perf baseline, experiments run one at a
+		// time so the per-experiment seconds are contention-free and
+		// comparable across machines and PRs (each experiment still
+		// parallelizes internally per -par).
 		driverPar := engine.ResolveParallelism(0)
-		if *benchOut != "" {
+		if *benchOut != "" || *benchCmp != "" {
 			driverPar = 1
 		}
 		runners := experiments.All()
@@ -163,10 +166,8 @@ func main() {
 				// Already reported in-stream above.
 				os.Exit(1)
 			}
-			if *benchOut != "" {
-				record.Experiments = append(record.Experiments, benchExpRecord{ID: r.ID, Seconds: secs[k]})
-				record.TotalSecs += secs[k]
-			}
+			record.Experiments = append(record.Experiments, benchExpRecord{ID: r.ID, Seconds: secs[k]})
+			record.TotalSecs += secs[k]
 		}
 	case *exp != "":
 		s, err := runOne(*exp, os.Stdout)
@@ -174,10 +175,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if *benchOut != "" {
-			record.Experiments = append(record.Experiments, benchExpRecord{ID: *exp, Seconds: s})
-			record.TotalSecs += s
-		}
+		record.Experiments = append(record.Experiments, benchExpRecord{ID: *exp, Seconds: s})
+		record.TotalSecs += s
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -195,4 +194,60 @@ func main() {
 		}
 		fmt.Printf("benchmark record written to %s (total %.3fs)\n", *benchOut, record.TotalSecs)
 	}
+	if *benchCmp != "" {
+		if err := compareBench(record, *benchCmp, *benchTol, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bench regression:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBench checks the freshly recorded per-experiment timings against a
+// committed baseline record, reporting every experiment whose time grew by
+// more than the threshold factor. Experiments present on only one side are
+// reported informationally but never fail the comparison (the suite grows
+// across PRs, and baselines age). Sub-10ms baselines are skipped: at that
+// scale scheduler noise dwarfs any real regression.
+func compareBench(rec *benchRecord, baselinePath string, threshold float64, w io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchRecord
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	baseSecs := make(map[string]float64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseSecs[e.ID] = e.Seconds
+	}
+	const minComparable = 0.010
+	var regressed []string
+	fmt.Fprintf(w, "\ncomparing against %s (label %q, recorded %s):\n", baselinePath, base.Label, base.RecordedAt)
+	for _, e := range rec.Experiments {
+		old, ok := baseSecs[e.ID]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "  %-12s %8.3fs  (new experiment, no baseline)\n", e.ID, e.Seconds)
+		case old < minComparable:
+			fmt.Fprintf(w, "  %-12s %8.3fs  (baseline %.3fs too small to compare)\n", e.ID, e.Seconds, old)
+		default:
+			ratio := e.Seconds / old
+			mark := ""
+			if ratio > threshold {
+				mark = "  <-- REGRESSED"
+				regressed = append(regressed, fmt.Sprintf("%s %.3fs -> %.3fs (%.2fx > %.2fx)", e.ID, old, e.Seconds, ratio, threshold))
+			}
+			fmt.Fprintf(w, "  %-12s %8.3fs  vs %8.3fs  (%.2fx)%s\n", e.ID, e.Seconds, old, ratio, mark)
+		}
+		delete(baseSecs, e.ID)
+	}
+	for id := range baseSecs {
+		fmt.Fprintf(w, "  %-12s (in baseline only; not run)\n", id)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d experiment(s) slower than %.2fx baseline: %s", len(regressed), threshold, strings.Join(regressed, "; "))
+	}
+	fmt.Fprintf(w, "no timing regressions beyond %.2fx\n", threshold)
+	return nil
 }

@@ -1,10 +1,13 @@
 // Command netmax-live runs NetMax as a real concurrent process group: live
 // goroutine workers exchanging models (optionally over loopback TCP with
-// gob framing) under a wall-clock Network Monitor — the system-shaped
-// counterpart to the discrete-event simulation used by netmax-bench.
+// the persistent binary wire protocol) under a wall-clock Network Monitor —
+// the system-shaped counterpart to the discrete-event simulation used by
+// netmax-bench. Model pulls go through a pluggable compression codec.
 //
 //	netmax-live -workers 4 -seconds 5
 //	netmax-live -workers 4 -seconds 5 -tcp
+//	netmax-live -tcp -codec float32
+//	netmax-live -tcp -codec topk -topk 0.1
 package main
 
 import (
@@ -12,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"netmax/internal/codec"
 	"netmax/internal/data"
 	"netmax/internal/live"
 	"netmax/internal/nn"
@@ -22,13 +27,27 @@ import (
 
 func main() {
 	var (
-		workers = flag.Int("workers", 4, "number of live workers")
-		seconds = flag.Float64("seconds", 5, "wall-clock training duration")
-		tcp     = flag.Bool("tcp", false, "demonstrate the TCP transport by pulling final models over loopback")
-		uniform = flag.Bool("uniform", false, "disable the adaptive policy (AD-PSGD-style)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 4, "number of live workers")
+		seconds   = flag.Float64("seconds", 5, "wall-clock training duration")
+		tcp       = flag.Bool("tcp", false, "run the process group over loopback TCP (persistent binary wire protocol)")
+		uniform   = flag.Bool("uniform", false, "disable the adaptive policy (AD-PSGD-style)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		codecName = flag.String("codec", "raw", "model pull compression codec: "+strings.Join(codec.Names(), ", "))
+		topkFrac  = flag.Float64("topk", codec.DefaultTopKFrac, "fraction of coordinates the topk codec keeps per pull")
 	)
 	flag.Parse()
+
+	var cdc codec.Codec
+	if *codecName == "topk" {
+		cdc = codec.NewTopK(*topkFrac)
+	} else {
+		var err error
+		cdc, err = codec.ByName(*codecName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+	}
 
 	train, test := data.SynthMNIST.Generate(*seed)
 	cfg := live.Config{
@@ -41,6 +60,7 @@ func main() {
 		Ts:       400 * time.Millisecond,
 		Duration: time.Duration(*seconds * float64(time.Second)),
 		Uniform:  *uniform,
+		Codec:    cdc,
 	}
 	var hub live.Hub
 	if *tcp {
@@ -51,8 +71,8 @@ func main() {
 		}
 		defer th.Close()
 		hub = th
-		fmt.Printf("Running %d live workers over loopback TCP for %.1fs (adaptive policy: %v)...\n",
-			*workers, *seconds, !*uniform)
+		fmt.Printf("Running %d live workers over loopback TCP for %.1fs (codec: %s, adaptive policy: %v)...\n",
+			*workers, *seconds, cdc.Name(), !*uniform)
 	} else {
 		ln := transport.NewLocalNet()
 		// Emulate a heterogeneous network: workers {0,1} are "co-located"
@@ -64,13 +84,15 @@ func main() {
 			return 6 * time.Millisecond
 		}
 		hub = ln
-		fmt.Printf("Running %d live workers in-process for %.1fs (adaptive policy: %v)...\n",
-			*workers, *seconds, !*uniform)
+		fmt.Printf("Running %d live workers in-process for %.1fs (codec: %s, adaptive policy: %v)...\n",
+			*workers, *seconds, cdc.Name(), !*uniform)
 	}
 	stats := live.Run(context.Background(), cfg, hub)
 
 	fmt.Printf("iterations per worker: %v\n", stats.IterationsPerWorker)
 	fmt.Printf("policy broadcasts:     %d\n", stats.PolicyVersions)
+	fmt.Printf("model pulls:           %d\n", stats.Pulls)
+	fmt.Printf("bytes on wire:         %d (%s codec)\n", stats.BytesOnWire, cdc.Name())
 	fmt.Printf("final loss:            %.4f\n", stats.FinalLoss)
 	fmt.Printf("final accuracy:        %.2f%%\n", 100*stats.FinalAccuracy)
 }

@@ -1,0 +1,84 @@
+// Compression-vs-accuracy scenario: the same live NetMax group trained
+// under each wire codec, comparing bytes-on-wire against final accuracy —
+// the communication-efficiency experiment the NetMax setting motivates but
+// the paper's testbed could not vary. A second table runs the
+// discrete-event engine on the heterogeneous cluster so the codecs' effect
+// on *virtual* wall-clock (with MobileNet-scale transfers) is visible too.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netmax"
+	"netmax/internal/codec"
+	"netmax/internal/data"
+	"netmax/internal/live"
+	"netmax/internal/nn"
+	"netmax/internal/transport"
+)
+
+func main() {
+	codecs := []codec.Codec{
+		codec.Raw{},
+		codec.Float32{},
+		codec.NewTopK(0.25),
+		codec.NewTopK(0.10),
+	}
+	label := func(c codec.Codec) string {
+		if tk, ok := c.(codec.TopK); ok {
+			return fmt.Sprintf("topk %.0f%%", 100*tk.Frac)
+		}
+		return c.Name()
+	}
+
+	// --- live runtime: real goroutine workers, SynthMNIST on SimMobileNet ---
+	const workers, iters = 4, 150
+	fmt.Printf("live group: %d workers x %d iterations, SynthMNIST, %s stand-in\n\n",
+		workers, iters, nn.SimMobileNet.Name)
+	fmt.Printf("%-10s  %14s  %10s  %10s  %9s\n", "codec", "bytes on wire", "vs raw", "pulls", "accuracy")
+	var rawBytes float64
+	for _, c := range codecs {
+		train, test := data.SynthMNIST.Generate(1)
+		cfg := live.Config{
+			Spec:       nn.SimMobileNet,
+			Part:       data.Uniform(train, workers, 1),
+			Test:       test,
+			LR:         0.1,
+			Batch:      16,
+			Seed:       7,
+			Ts:         50 * time.Millisecond,
+			Iterations: iters,
+			Codec:      c,
+		}
+		stats := live.Run(context.Background(), cfg, transport.NewLocalNet())
+		perPull := float64(stats.BytesOnWire) / float64(stats.Pulls)
+		if _, ok := c.(codec.Raw); ok {
+			rawBytes = perPull
+		}
+		fmt.Printf("%-10s  %14d  %9.1fx  %10d  %8.2f%%\n",
+			label(c), stats.BytesOnWire, rawBytes/perPull, stats.Pulls, 100*stats.FinalAccuracy)
+	}
+
+	// --- discrete-event engine: MobileNet-scale transfers on the paper's
+	// heterogeneous cluster, so compression moves the virtual clock ---
+	const simWorkers, epochs = 8, 10
+	fmt.Printf("\nsimulated cluster: %d workers x %d epochs, %s (%d MB raw pulls), dynamic slow link\n\n",
+		simWorkers, epochs, nn.SimMobileNet.Name, nn.SimMobileNet.ModelBytes()*2/1_000_000)
+	fmt.Printf("%-10s  %14s  %12s  %12s  %9s\n", "codec", "bytes on wire", "vs raw", "total time", "accuracy")
+	var rawTotal float64
+	for _, c := range codecs {
+		train, test := netmax.Dataset(netmax.SynthMNIST, 1)
+		cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, simWorkers, epochs, 1)
+		cfg.Codec = c
+		res := netmax.Train(cfg, netmax.Options{})
+		if _, ok := c.(codec.Raw); ok {
+			rawTotal = float64(res.BytesSent)
+		}
+		fmt.Printf("%-10s  %14d  %11.1fx  %11.1fs  %8.2f%%\n",
+			label(c), res.BytesSent, rawTotal/float64(res.BytesSent), res.TotalTime, 100*res.FinalAccuracy)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 
 	"netmax/internal/tensor"
@@ -65,8 +66,32 @@ type PartialTransferrer interface {
 func RunAsync(cfg *Config, b AsyncBehavior, algo string) *Result {
 	ws := cfg.Workers()
 	tr := NewTracker(cfg, ws, algo)
-	bytes := cfg.Spec.ModelBytes()
+	bytes := cfg.WireBytes()
 	par := cfg.EffectiveParallelism()
+	// Compression state: every transferred vector round-trips through the
+	// codec so its loss lands in the trajectory; prior receives the
+	// receiving worker's own parameters for sparse partial pulls. All
+	// buffers are reused across iterations — the event loop stays
+	// allocation-free under compression.
+	var encBuf []byte
+	var prior, ownBuf []float64
+	if cfg.Codec != nil {
+		prior = make([]float64, ws[0].Model.VectorLen())
+	}
+	// compress overwrites vec in place with what receiver would decode off
+	// the wire. The payload is self-produced, so a decode failure is a
+	// codec bug; continuing would charge compressed bytes for an
+	// uncompressed transfer.
+	compress := func(vec []float64, receiver *Worker) {
+		if cfg.Codec == nil {
+			return
+		}
+		encBuf = cfg.Codec.AppendEncode(encBuf[:0], vec)
+		receiver.Model.CopyVector(prior)
+		if err := cfg.Codec.DecodeInto(encBuf, vec, prior); err != nil {
+			panic(fmt.Sprintf("engine: codec %s round-trip failed: %v", cfg.Codec.Name(), err))
+		}
+	}
 	symmetric := false
 	if sb, ok := b.(SymmetricBlender); ok {
 		symmetric = sb.Symmetric()
@@ -156,13 +181,20 @@ events:
 			}
 			if j != i {
 				ws[j].Model.CopyVector(snapshot) // pull x_j (freshest params)
+				compress(snapshot, w)
 				coef := b.BlendCoef(i, j)
 				if symmetric {
 					// Two-sided atomic averaging: j also moves toward i's
-					// (pre-blend) model with the same coefficient.
-					own := w.Model.Vector()
+					// (pre-blend) model with the same coefficient. The
+					// reverse transfer goes through the codec as well, so
+					// both directions carry compression loss.
+					if ownBuf == nil {
+						ownBuf = make([]float64, len(snapshot))
+					}
+					w.Model.CopyVector(ownBuf)
+					compress(ownBuf, ws[j])
 					w.Model.BlendVector(coef, snapshot)
-					ws[j].Model.BlendVector(coef, own)
+					ws[j].Model.BlendVector(coef, ownBuf)
 					dirty[j] = true
 				} else {
 					w.Model.BlendVector(coef, snapshot)

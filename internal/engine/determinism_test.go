@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"netmax/internal/codec"
 	"netmax/internal/simnet"
 )
 
@@ -61,8 +62,8 @@ func resultsIdentical(t *testing.T, name string, a, b *Result) {
 // randomized peer selection under a heterogeneous clock.
 func TestRunAsyncParallelismBitwiseDeterministic(t *testing.T) {
 	cases := []struct {
-		name  string
-		run   func(par int) *Result
+		name string
+		run  func(par int) *Result
 	}{
 		{"lockstep one-sided", func(par int) *Result {
 			cfg := testConfig(4, 3)
@@ -79,6 +80,18 @@ func TestRunAsyncParallelismBitwiseDeterministic(t *testing.T) {
 			cfg.Net = simnet.NewStatic(simnet.PaperCluster(4))
 			cfg.Parallelism = par
 			return RunAsync(cfg, &simpleBehavior{m: 4}, "rnd")
+		}},
+		{"topk codec one-sided", func(par int) *Result {
+			cfg := testConfig(4, 3)
+			cfg.Parallelism = par
+			cfg.Codec = codec.NewTopK(0.25)
+			return RunAsync(cfg, &simpleBehavior{m: 4}, "tk")
+		}},
+		{"float32 codec symmetric", func(par int) *Result {
+			cfg := testConfig(4, 3)
+			cfg.Parallelism = par
+			cfg.Codec = codec.Float32{}
+			return RunAsync(cfg, &lockstepBehavior{m: 4, symmetric: true}, "f32s")
 		}},
 	}
 	for _, tc := range cases {

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"netmax/internal/autograd"
+	"netmax/internal/codec"
 	"netmax/internal/data"
 	"netmax/internal/nn"
 	"netmax/internal/simnet"
@@ -60,6 +61,23 @@ type Config struct {
 	// steps. Every setting produces bitwise-identical results — parallel
 	// stepping only reorders host work, never virtual-clock arithmetic.
 	Parallelism int
+	// Codec, when non-nil, makes the asynchronous pull loop
+	// compression-aware: pulled model snapshots round-trip through the
+	// codec (so quantization/sparsification loss shows up in the training
+	// trajectory) and the simnet bandwidth model is charged the codec's
+	// encoded size for the paper model instead of the dense
+	// Spec.ModelBytes. Nil reproduces the uncompressed simulation exactly.
+	Codec codec.Codec
+}
+
+// WireBytes returns the per-pull traffic the bandwidth model charges: the
+// codec's encoded size for the paper model when a codec is configured,
+// otherwise the dense Spec.ModelBytes.
+func (c *Config) WireBytes() int64 {
+	if c.Codec != nil {
+		return c.Codec.WireBytes(int(c.Spec.RealParams))
+	}
+	return c.Spec.ModelBytes()
 }
 
 // EffectiveParallelism resolves the config's Parallelism setting.

@@ -10,8 +10,10 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"netmax/internal/codec"
 	"netmax/internal/data"
 	"netmax/internal/monitor"
 	"netmax/internal/nn"
@@ -37,6 +39,10 @@ type Config struct {
 	Iterations int
 	// Uniform disables the adaptive policy (AD-PSGD-style selection).
 	Uniform bool
+	// Codec compresses model pulls on the wire (nil keeps the transport's
+	// default raw float64 encoding). Sparse codecs turn pulls into partial
+	// model pulls: untransmitted coordinates keep the puller's local value.
+	Codec codec.Codec
 }
 
 // Stats summarizes a live run.
@@ -49,6 +55,11 @@ type Stats struct {
 	FinalLoss float64
 	// PolicyVersions is the number of policy broadcasts observed.
 	PolicyVersions int
+	// BytesOnWire is the total encoded payload volume of all model pulls,
+	// as produced by the configured codec.
+	BytesOnWire int64
+	// Pulls counts completed cross-worker model pulls.
+	Pulls int64
 	// Elapsed wall time.
 	Elapsed time.Duration
 }
@@ -83,7 +94,8 @@ type Hub interface {
 	Peer(from, to int) transport.Peer
 	Monitor() transport.MonitorClient
 	SetPolicy(p [][]float64, rho float64)
-	OnReport(f func(from, to int, secs float64))
+	SetCodec(c codec.Codec)
+	OnReport(f func(from, to int, secs float64, bytes int64))
 }
 
 // Run executes the live group until the configured bound and returns stats.
@@ -103,8 +115,14 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 		beta = 0.5
 	}
 
+	if cfg.Codec != nil {
+		hub.SetCodec(cfg.Codec)
+	}
 	mon := monitor.New(monitor.Config{Adj: adj, Alpha: cfg.LR, Period: ts.Seconds()})
-	hub.OnReport(func(from, to int, secs float64) { mon.Observe(from, to, secs) })
+	hub.OnReport(func(from, to int, secs float64, bytes int64) {
+		mon.Observe(from, to, secs)
+		mon.ObserveBytes(from, to, bytes)
+	})
 
 	workers := make([]*worker, m)
 	for i := 0; i < m; i++ {
@@ -160,6 +178,7 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 	}()
 
 	counts := make([]int, m)
+	var wireBytes, pulls atomic.Int64
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		wg.Add(1)
@@ -179,8 +198,11 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 				j := samplePeer(w.p[w.id], w.id, w.rng)
 				iterStart := time.Now()
 				// Pull the neighbor's model concurrently with the local
-				// gradient step (Algorithm 2's overlap).
-				var pulled []float64
+				// gradient step (Algorithm 2's overlap). The pull arrives
+				// undecoded; decoding waits for the blend step so sparse
+				// codecs substitute the post-step vector — not a stale
+				// snapshot — on untransmitted coordinates.
+				var pulled *transport.Pull
 				var pullErr error
 				done := make(chan struct{})
 				if j != w.id {
@@ -196,15 +218,27 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 				if j != w.id && pullErr == nil && pulled != nil {
 					coef := w.blendCoef(cfg.LR, j)
 					w.mu.Lock()
-					w.model.BlendVector(coef, pulled)
-					w.mu.Unlock()
-					secs := time.Since(iterStart).Seconds()
-					if w.ema[j] == 0 {
-						w.ema[j] = secs
-					} else {
-						w.ema[j] = beta*w.ema[j] + (1-beta)*secs
+					var prior []float64
+					if pulled.NeedsPrior() {
+						prior = w.model.Vector()
 					}
-					_ = monClient.ReportTime(w.id, j, w.ema[j])
+					vec, decErr := pulled.Decode(prior)
+					if decErr == nil {
+						w.model.BlendVector(coef, vec)
+					}
+					w.mu.Unlock()
+					if decErr == nil {
+						pulledBytes := pulled.WireBytes()
+						wireBytes.Add(pulledBytes)
+						pulls.Add(1)
+						secs := time.Since(iterStart).Seconds()
+						if w.ema[j] == 0 {
+							w.ema[j] = secs
+						} else {
+							w.ema[j] = beta*w.ema[j] + (1-beta)*secs
+						}
+						_ = monClient.ReportTime(w.id, j, w.ema[j], pulledBytes)
+					}
 				}
 				counts[w.id]++ // safe: one writer per index
 			}
@@ -235,6 +269,8 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 		FinalAccuracy:       avg.Accuracy(x, labels),
 		FinalLoss:           avg.Loss(x, labels).Item(),
 		PolicyVersions:      version,
+		BytesOnWire:         wireBytes.Load(),
+		Pulls:               pulls.Load(),
 		Elapsed:             time.Since(start),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"netmax/internal/codec"
 	"netmax/internal/data"
 	"netmax/internal/nn"
 	"netmax/internal/transport"
@@ -114,5 +115,61 @@ func TestLiveUniformMode(t *testing.T) {
 	stats := Run(context.Background(), cfg, hub)
 	if stats.PolicyVersions != 0 {
 		t.Fatalf("uniform mode published %d policies", stats.PolicyVersions)
+	}
+}
+
+// TestCompressionCodecsReduceBytes is the acceptance gate for the
+// communication-efficient transport: on SimMobileNet, the float32 and top-k
+// codecs must cut bytes-on-wire by at least 2x versus raw while the trained
+// consensus model stays within tolerance of the raw-codec accuracy.
+func TestCompressionCodecsReduceBytes(t *testing.T) {
+	run := func(c codec.Codec) *Stats {
+		hub := transport.NewLocalNet()
+		cfg := liveConfig(4, 120)
+		cfg.Codec = c
+		return Run(context.Background(), cfg, hub)
+	}
+	raw := run(codec.Raw{})
+	f32 := run(codec.Float32{})
+	topk := run(codec.NewTopK(0.25))
+
+	if raw.Pulls == 0 || raw.BytesOnWire == 0 {
+		t.Fatalf("raw run recorded no traffic: %+v", raw)
+	}
+	// Bytes-per-pull comparison: iteration counts are identical, but pull
+	// counts can differ by the few self-pull draws, so normalize.
+	perPull := func(s *Stats) float64 { return float64(s.BytesOnWire) / float64(s.Pulls) }
+	if r := perPull(raw) / perPull(f32); r < 2 {
+		t.Fatalf("float32 reduced bytes/pull by only %.2fx (raw %.0f, float32 %.0f)", r, perPull(raw), perPull(f32))
+	}
+	if r := perPull(raw) / perPull(topk); r < 2 {
+		t.Fatalf("topk reduced bytes/pull by only %.2fx (raw %.0f, topk %.0f)", r, perPull(raw), perPull(topk))
+	}
+	// Accuracy within tolerance of the raw run.
+	const tol = 0.05
+	if f32.FinalAccuracy < raw.FinalAccuracy-tol {
+		t.Fatalf("float32 accuracy %.3f fell more than %.2f below raw %.3f", f32.FinalAccuracy, tol, raw.FinalAccuracy)
+	}
+	if topk.FinalAccuracy < raw.FinalAccuracy-tol {
+		t.Fatalf("topk accuracy %.3f fell more than %.2f below raw %.3f", topk.FinalAccuracy, tol, raw.FinalAccuracy)
+	}
+}
+
+// TestLiveCodecOverTCP runs a short compressed group over real sockets so
+// the codec id negotiation is exercised end to end in the live runtime.
+func TestLiveCodecOverTCP(t *testing.T) {
+	hub, err := transport.NewTCPHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	cfg := liveConfig(3, 60)
+	cfg.Codec = codec.NewTopK(0.25)
+	stats := Run(context.Background(), cfg, hub)
+	if stats.FinalAccuracy < 0.7 {
+		t.Fatalf("compressed TCP live accuracy = %v", stats.FinalAccuracy)
+	}
+	if stats.BytesOnWire == 0 || stats.Pulls == 0 {
+		t.Fatalf("no traffic recorded: %+v", stats)
 	}
 }

@@ -9,6 +9,7 @@
 package monitor
 
 import (
+	"math"
 	"sync"
 
 	"netmax/internal/policy"
@@ -41,6 +42,9 @@ type Monitor struct {
 	last float64     // virtual time of last regeneration
 	ran  bool
 
+	payload    [][]int64 // latest reported encoded transfer size per link
+	totalBytes int64     // cumulative reported bytes-on-wire
+
 	// Regenerations counts successful policy computations (observability).
 	Regenerations int
 }
@@ -52,10 +56,12 @@ func New(cfg Config) *Monitor {
 	}
 	m := len(cfg.Adj)
 	ema := make([][]float64, m)
+	payload := make([][]int64, m)
 	for i := range ema {
 		ema[i] = make([]float64, m)
+		payload[i] = make([]int64, m)
 	}
-	return &Monitor{cfg: cfg, m: m, ema: ema}
+	return &Monitor{cfg: cfg, m: m, ema: ema, payload: payload}
 }
 
 // Observe ingests one measured iteration time for link (i, j). In the
@@ -63,12 +69,57 @@ func New(cfg Config) *Monitor {
 // the simulator workers report as they finish iterations. The worker-side
 // EMA has already been applied, so the monitor just stores the latest value.
 func (mo *Monitor) Observe(i, j int, iterSecs float64) {
-	if i == j {
+	// Reports arrive over the wire: reject out-of-range indices and
+	// non-finite or non-positive times, either of which would poison the
+	// EMA matrix and every policy generated from it. (NaN fails the > 0
+	// comparison.)
+	if i == j || !mo.validLink(i, j) || !(iterSecs > 0) || math.IsInf(iterSecs, 1) {
 		return
 	}
 	mo.mu.Lock()
 	mo.ema[i][j] = iterSecs
 	mo.mu.Unlock()
+}
+
+// validLink bounds-checks worker indices: reports arrive over the wire, so
+// a malformed or hostile frame must not index outside the m x m matrices.
+func (mo *Monitor) validLink(i, j int) bool {
+	return i >= 0 && i < mo.m && j >= 0 && j < mo.m
+}
+
+// ObserveBytes ingests the encoded byte size of one model transfer on link
+// (i, j) — the wire payload the transport's codec actually produced, which
+// arrives with the iteration-time report. The monitor keeps the latest
+// per-link payload size (link-bandwidth observability under compression)
+// and the cumulative bytes-on-wire total.
+func (mo *Monitor) ObserveBytes(i, j int, bytes int64) {
+	if i == j || bytes <= 0 || !mo.validLink(i, j) {
+		return
+	}
+	mo.mu.Lock()
+	mo.payload[i][j] = bytes
+	mo.totalBytes += bytes
+	mo.mu.Unlock()
+}
+
+// TotalWireBytes returns the cumulative encoded bytes reported so far.
+func (mo *Monitor) TotalWireBytes() int64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.totalBytes
+}
+
+// LinkWireBytes returns a copy of the latest per-link encoded transfer
+// sizes (zero where no report carried a byte count yet).
+func (mo *Monitor) LinkWireBytes() [][]int64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	out := make([][]int64, mo.m)
+	for i := range out {
+		out[i] = make([]int64, mo.m)
+		copy(out[i], mo.payload[i])
+	}
+	return out
 }
 
 // Times returns a copy of the current iteration-time matrix with gaps

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"math"
 	"testing"
 
 	"netmax/internal/simnet"
@@ -112,5 +113,53 @@ func TestAdaptsToChangedTimes(t *testing.T) {
 	}
 	if pol2.P[0][1] >= pol1.P[0][1] {
 		t.Fatalf("policy did not shift away from degraded link: %v -> %v", pol1.P[0][1], pol2.P[0][1])
+	}
+}
+
+func TestObserveBytesAccumulates(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(3), Alpha: 0.1, Period: 10})
+	mo.ObserveBytes(0, 1, 1000)
+	mo.ObserveBytes(0, 1, 500) // latest payload wins, total accumulates
+	mo.ObserveBytes(1, 2, 250)
+	mo.ObserveBytes(2, 2, 99) // self link ignored
+	mo.ObserveBytes(0, 2, 0)  // empty transfers ignored
+	if got := mo.TotalWireBytes(); got != 1750 {
+		t.Fatalf("TotalWireBytes = %d, want 1750", got)
+	}
+	link := mo.LinkWireBytes()
+	if link[0][1] != 500 || link[1][2] != 250 || link[2][2] != 0 || link[0][2] != 0 {
+		t.Fatalf("LinkWireBytes = %v", link)
+	}
+	// The copy must not alias monitor state.
+	link[0][1] = 7
+	if mo.LinkWireBytes()[0][1] != 500 {
+		t.Fatal("LinkWireBytes aliases internal storage")
+	}
+}
+
+func TestObserveRejectsOutOfRangeIndices(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(3), Alpha: 0.1, Period: 10})
+	// Wire-supplied indices must never panic or corrupt state.
+	mo.Observe(7, 1, 2.0)
+	mo.Observe(0, -1, 2.0)
+	mo.ObserveBytes(3, 0, 100)
+	mo.ObserveBytes(-2, 1, 100)
+	if got := mo.TotalWireBytes(); got != 0 {
+		t.Fatalf("TotalWireBytes = %d after out-of-range reports", got)
+	}
+}
+
+func TestObserveRejectsNonFiniteTimes(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(2), Alpha: 0.1, Period: 10})
+	mo.Observe(0, 1, math.NaN())
+	mo.Observe(0, 1, math.Inf(1))
+	mo.Observe(0, 1, -3)
+	mo.Observe(0, 1, 0)
+	if mo.ema[0][1] != 0 {
+		t.Fatalf("poisonous observation stored: %v", mo.ema[0][1])
+	}
+	mo.Observe(0, 1, 2.5)
+	if mo.ema[0][1] != 2.5 {
+		t.Fatal("valid observation rejected")
 	}
 }

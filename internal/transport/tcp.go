@@ -1,46 +1,118 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"netmax/internal/codec"
 )
 
-// The TCP transport frames gob-encoded request/response pairs over
-// short-lived connections: simple, dependency-free, and adequate for the
-// model sizes of the live demo. Message kinds:
-//
-//	pullReq/pullResp      worker -> worker   model pull
-//	reportReq/ack         worker -> monitor  iteration-time report
-//	policyReq/policyResp  worker -> monitor  policy fetch
+// The TCP transport speaks the persistent binary wire protocol of wire.go:
+// clients dial once and exchange length-prefixed frames (message kind +
+// codec id + payload) over the same connection for the life of the run,
+// instead of the seed's gob-encoded dial-per-call scheme. Model payloads go
+// through a pluggable codec (internal/codec), and every pull reports its
+// encoded byte size so the monitor and the caller can account for real
+// bytes-on-wire.
 
-type pullReq struct{ From int }
-
-type pullResp struct{ Vector []float64 }
-
-type reportReq struct {
-	From, To int
-	Secs     float64
-}
-
-type ack struct{}
-
-type policyReq struct{}
-
-type policyResp struct {
-	P       [][]float64
-	Rho     float64
-	Version int
-}
-
-// TCPWorkerServer answers model pulls for one worker.
-type TCPWorkerServer struct {
+// listenerGroup is the shared server chassis: it owns the listener, tracks
+// live connections so Close can unblock handler reads, and waits for every
+// goroutine on shutdown.
+type listenerGroup struct {
 	ln     net.Listener
-	src    ModelSource
 	wg     sync.WaitGroup
 	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+func newListenerGroup(ln net.Listener) *listenerGroup {
+	return &listenerGroup{ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// serve runs the accept loop, invoking handle for each connection in its
+// own goroutine. It returns when the listener is closed.
+func (g *listenerGroup) serve(handle func(net.Conn)) {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			// Accept fails permanently once the listener closes (and
+			// transiently under fd exhaustion); either way, stop if Close
+			// ran, otherwise back off briefly and keep accepting — a bare
+			// retry would spin a core exactly when fds are scarce.
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if !g.track(conn) {
+			conn.Close() // lost the race with Close
+			continue
+		}
+		g.wg.Add(1)
+		go func(c net.Conn) {
+			defer g.wg.Done()
+			defer g.untrack(c)
+			defer c.Close()
+			handle(c)
+		}(conn)
+	}
+}
+
+func (g *listenerGroup) track(c net.Conn) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.conns[c] = struct{}{}
+	return true
+}
+
+func (g *listenerGroup) untrack(c net.Conn) {
+	g.mu.Lock()
+	delete(g.conns, c)
+	g.mu.Unlock()
+}
+
+// close shuts the listener, force-closes every live connection (unblocking
+// handler reads), and waits for the accept loop and all handlers to return.
+func (g *listenerGroup) close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.wg.Wait()
+		return nil
+	}
+	g.closed = true
+	err := g.ln.Close()
+	for c := range g.conns {
+		c.Close()
+	}
+	g.mu.Unlock()
+	g.wg.Wait()
+	return err
+}
+
+// --- worker server ---
+
+// TCPWorkerServer answers model pulls for one worker over persistent
+// connections, encoding responses with its configured codec (raw until
+// SetCodec is called).
+type TCPWorkerServer struct {
+	grp *listenerGroup
+	src ModelSource
+
+	codecMu sync.RWMutex
+	codec   codec.Codec
 }
 
 // ServeWorker starts answering pulls on addr (e.g. "127.0.0.1:0") and
@@ -50,84 +122,191 @@ func ServeWorker(addr string, src ModelSource) (*TCPWorkerServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPWorkerServer{ln: ln, src: src}
-	s.wg.Add(1)
-	go s.loop()
+	s := &TCPWorkerServer{grp: newListenerGroup(ln), src: src, codec: codec.Raw{}}
+	s.grp.wg.Add(1)
+	go s.grp.serve(s.handle)
 	return s, nil
 }
 
-// Addr returns the listener's address.
-func (s *TCPWorkerServer) Addr() string { return s.ln.Addr().String() }
-
-// Close stops the server and waits for the accept loop.
-func (s *TCPWorkerServer) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+// SetCodec switches the codec used for subsequent pull responses.
+func (s *TCPWorkerServer) SetCodec(c codec.Codec) {
+	if c == nil {
+		c = codec.Raw{}
+	}
+	s.codecMu.Lock()
+	s.codec = c
+	s.codecMu.Unlock()
 }
 
-func (s *TCPWorkerServer) loop() {
-	defer s.wg.Done()
+// Addr returns the listener's address.
+func (s *TCPWorkerServer) Addr() string { return s.grp.ln.Addr().String() }
+
+// Close stops the server: it unblocks the accept loop, tears down live
+// connections, and waits for every handler goroutine to exit.
+func (s *TCPWorkerServer) Close() error { return s.grp.close() }
+
+// handle serves one persistent connection: pull frames in, model frames out,
+// until the peer hangs up or Close tears the connection down.
+func (s *TCPWorkerServer) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var rbuf, wbuf []byte
 	for {
-		conn, err := s.ln.Accept()
+		kind, _, body, err := readFrame(r, &rbuf)
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return
+			return
+		}
+		if kind != msgPull {
+			return // protocol violation; drop the connection
+		}
+		if _, err := parsePullReq(body); err != nil {
+			return
+		}
+		s.codecMu.RLock()
+		c := s.codec
+		s.codecMu.RUnlock()
+		wbuf = appendPullResp(wbuf[:0], s.src(), c)
+		if err := writeFrame(w, msgPullResp, c.ID(), wbuf); err != nil {
+			return
+		}
+	}
+}
+
+// --- persistent client connection ---
+
+// persistentConn is the shared client chassis: one lazily dialed
+// connection plus the frame request/response exchange with its retry
+// policy. Owners serialize access with their own mutex.
+type persistentConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	rbuf []byte
+}
+
+// roundTrip sends one request frame to addr and reads the response. A dead
+// connection is redialed and the request retried once — but only when
+// retrying cannot duplicate a side effect: a non-idempotent request whose
+// write already succeeded (the failure was on the response read) may have
+// been processed by the server, so it is not re-sent. The returned body
+// aliases the connection's read buffer and is valid until the next call.
+func (pc *persistentConn) roundTrip(addr string, reqKind uint8, reqBody []byte, wantKind uint8, idempotent bool) ([]byte, uint8, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := pc.ensure(addr); err != nil {
+			return nil, 0, err
+		}
+		if err := writeFrame(pc.w, reqKind, 0, reqBody); err != nil {
+			pc.drop()
+			lastErr = err
+			continue
+		}
+		kind, codecID, body, err := readFrame(pc.r, &pc.rbuf)
+		if err != nil {
+			pc.drop()
+			lastErr = err
+			if !idempotent {
+				return nil, 0, fmt.Errorf("transport: %s: response lost after delivered request (not retried): %w", addr, err)
 			}
 			continue
 		}
-		go func(c net.Conn) {
-			defer c.Close()
-			dec := gob.NewDecoder(c)
-			enc := gob.NewEncoder(c)
-			var req pullReq
-			if err := dec.Decode(&req); err != nil {
-				return
-			}
-			_ = enc.Encode(pullResp{Vector: s.src()})
-		}(conn)
+		if kind != wantKind {
+			pc.drop()
+			return nil, 0, fmt.Errorf("transport: unexpected frame kind %d, want %d", kind, wantKind)
+		}
+		return body, codecID, nil
 	}
+	return nil, 0, fmt.Errorf("transport: %s: %w", addr, lastErr)
 }
 
-// TCPPeer pulls models from a remote worker address.
+func (pc *persistentConn) ensure(addr string) error {
+	if pc.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	pc.conn = conn
+	pc.r = bufio.NewReader(conn)
+	pc.w = bufio.NewWriter(conn)
+	return nil
+}
+
+func (pc *persistentConn) drop() error {
+	if pc.conn == nil {
+		return nil
+	}
+	err := pc.conn.Close()
+	pc.conn, pc.r, pc.w = nil, nil, nil
+	return err
+}
+
+// --- worker client ---
+
+// TCPPeer pulls models from a remote worker address over one persistent
+// connection, redialing transparently if the connection drops. The zero
+// value with Addr set is ready to use; it is safe for concurrent use.
 type TCPPeer struct {
 	From int
 	Addr string
+
+	mu   sync.Mutex
+	pc   persistentConn
+	wbuf []byte
 }
 
-// PullModel dials the peer, sends a pull request and returns the vector.
-func (p *TCPPeer) PullModel() ([]float64, error) {
-	conn, err := net.Dial("tcp", p.Addr)
+// PullModel requests the peer's freshest parameter vector, returned
+// undecoded (the caller decodes at blend time with its current vector).
+func (p *TCPPeer) PullModel() (*Pull, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wbuf = appendPullReq(p.wbuf[:0], p.From)
+	// Pulls are read-only on the server, so lost responses retry safely.
+	body, codecID, err := p.pc.roundTrip(p.Addr, msgPull, p.wbuf, msgPullResp, true)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", p.Addr, err)
-	}
-	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(pullReq{From: p.From}); err != nil {
 		return nil, err
 	}
-	var resp pullResp
-	if err := dec.Decode(&resp); err != nil {
+	dim, payload, err := parsePullRespHeader(body)
+	if err != nil {
+		p.pc.drop()
 		return nil, err
 	}
-	return resp.Vector, nil
+	c, err := codec.ByID(codecID)
+	if err != nil {
+		p.pc.drop()
+		return nil, err
+	}
+	// The body aliases the connection's read buffer; the Pull outlives
+	// this call, so it takes a private copy.
+	owned := make([]byte, len(payload))
+	copy(owned, payload)
+	return NewPull(c, dim, owned), nil
 }
 
-// TCPMonitorServer hosts the Network Monitor endpoint.
-type TCPMonitorServer struct {
-	ln     net.Listener
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	closed bool
+// priorFor returns prior only when it matches the advertised dimension;
+// a stale prior (e.g. after a model resize) must not poison sparse decodes.
+func priorFor(prior []float64, dim int) []float64 {
+	if len(prior) == dim {
+		return prior
+	}
+	return nil
+}
 
-	report func(from, to int, secs float64)
+// Close tears down the persistent connection, if any.
+func (p *TCPPeer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pc.drop()
+}
+
+// --- monitor server ---
+
+// TCPMonitorServer hosts the Network Monitor endpoint over persistent
+// connections.
+type TCPMonitorServer struct {
+	grp    *listenerGroup
+	report func(from, to int, secs float64, bytes int64)
 
 	policyMu sync.RWMutex
 	p        [][]float64
@@ -136,20 +315,20 @@ type TCPMonitorServer struct {
 }
 
 // ServeMonitor starts the monitor endpoint on addr; onReport receives every
-// time report.
-func ServeMonitor(addr string, onReport func(from, to int, secs float64)) (*TCPMonitorServer, error) {
+// time report together with the reported transfer's encoded byte size.
+func ServeMonitor(addr string, onReport func(from, to int, secs float64, bytes int64)) (*TCPMonitorServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPMonitorServer{ln: ln, report: onReport}
-	s.wg.Add(1)
-	go s.loop()
+	s := &TCPMonitorServer{grp: newListenerGroup(ln), report: onReport}
+	s.grp.wg.Add(1)
+	go s.grp.serve(s.handle)
 	return s, nil
 }
 
 // Addr returns the listener's address.
-func (s *TCPMonitorServer) Addr() string { return s.ln.Addr().String() }
+func (s *TCPMonitorServer) Addr() string { return s.grp.ln.Addr().String() }
 
 // SetPolicy publishes a new policy to pollers.
 func (s *TCPMonitorServer) SetPolicy(p [][]float64, rho float64) {
@@ -160,105 +339,90 @@ func (s *TCPMonitorServer) SetPolicy(p [][]float64, rho float64) {
 	s.version++
 }
 
-// Close stops the endpoint.
-func (s *TCPMonitorServer) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
+// Close stops the endpoint, tearing down live connections and waiting for
+// every handler goroutine.
+func (s *TCPMonitorServer) Close() error { return s.grp.close() }
 
-func (s *TCPMonitorServer) loop() {
-	defer s.wg.Done()
+func (s *TCPMonitorServer) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var rbuf, wbuf []byte
 	for {
-		conn, err := s.ln.Accept()
+		kind, _, body, err := readFrame(r, &rbuf)
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
+			return
+		}
+		switch kind {
+		case msgReport:
+			from, to, secs, bytes, err := parseReport(body)
+			if err != nil {
 				return
 			}
-			continue
+			if s.report != nil {
+				s.report(from, to, secs, bytes)
+			}
+			if err := writeFrame(w, msgReportAck, 0, nil); err != nil {
+				return
+			}
+		case msgPolicy:
+			s.policyMu.RLock()
+			wbuf = appendPolicyResp(wbuf[:0], s.p, s.rho, s.version)
+			s.policyMu.RUnlock()
+			if err := writeFrame(w, msgPolicyResp, 0, wbuf); err != nil {
+				return
+			}
+		default:
+			return // protocol violation; drop the connection
 		}
-		go s.handle(conn)
 	}
 }
 
-func (s *TCPMonitorServer) handle(c net.Conn) {
-	defer c.Close()
-	dec := gob.NewDecoder(c)
-	enc := gob.NewEncoder(c)
-	var kind string
-	if err := dec.Decode(&kind); err != nil {
-		return
-	}
-	switch kind {
-	case "report":
-		var req reportReq
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		if s.report != nil {
-			s.report(req.From, req.To, req.Secs)
-		}
-		_ = enc.Encode(ack{})
-	case "policy":
-		var req policyReq
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		s.policyMu.RLock()
-		resp := policyResp{P: s.p, Rho: s.rho, Version: s.version}
-		s.policyMu.RUnlock()
-		_ = enc.Encode(resp)
-	}
-}
+// --- monitor client ---
 
-// TCPMonitorClient is a worker's dial-per-call client to the monitor.
+// TCPMonitorClient is a worker's persistent-connection client to the
+// monitor. The zero value with Addr set is ready to use; it is safe for
+// concurrent use (calls serialize on one connection).
 type TCPMonitorClient struct {
 	Addr string
+
+	mu   sync.Mutex
+	pc   persistentConn
+	wbuf []byte
 }
 
-// ReportTime sends one iteration-time observation.
-func (c *TCPMonitorClient) ReportTime(from, to int, secs float64) error {
-	conn, err := net.Dial("tcp", c.Addr)
+// ReportTime sends one iteration-time observation along with the encoded
+// byte size of the transfer it measured. Reports are not idempotent (the
+// monitor accumulates byte totals), so a report whose ack is lost returns
+// an error rather than risking a duplicate; callers treat reports as
+// best-effort and simply carry the next observation.
+func (c *TCPMonitorClient) ReportTime(from, to int, secs float64, bytes int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendReport(c.wbuf[:0], from, to, secs, bytes)
+	body, _, err := c.pc.roundTrip(c.Addr, msgReport, c.wbuf, msgReportAck, false)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode("report"); err != nil {
-		return err
+	if len(body) != 0 {
+		return fmt.Errorf("transport: report ack carried %d unexpected bytes", len(body))
 	}
-	if err := enc.Encode(reportReq{From: from, To: to, Secs: secs}); err != nil {
-		return err
-	}
-	var a ack
-	return dec.Decode(&a)
+	return nil
 }
 
 // FetchPolicy retrieves the latest policy.
 func (c *TCPMonitorClient) FetchPolicy() ([][]float64, float64, int, error) {
-	conn, err := net.Dial("tcp", c.Addr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, _, err := c.pc.roundTrip(c.Addr, msgPolicy, c.wbuf[:0], msgPolicyResp, true)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode("policy"); err != nil {
-		return nil, 0, 0, err
-	}
-	if err := enc.Encode(policyReq{}); err != nil {
-		return nil, 0, 0, err
-	}
-	var resp policyResp
-	if err := dec.Decode(&resp); err != nil {
-		return nil, 0, 0, err
-	}
-	return resp.P, resp.Rho, resp.Version, nil
+	return parsePolicyResp(body)
+}
+
+// Close tears down the persistent connection, if any.
+func (c *TCPMonitorClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pc.drop()
 }

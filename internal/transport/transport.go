@@ -4,16 +4,21 @@
 //
 // Two implementations are provided: an in-process channel/shared-memory
 // transport with injectable artificial latency (used by the examples to
-// demonstrate heterogeneity on one machine), and a TCP transport using
-// encoding/gob framing (used by cmd/netmax-live to run a real process
-// group). The discrete-event simulator does not use this package; this is
-// the "system" half of the reproduction.
+// demonstrate heterogeneity on one machine), and a TCP transport speaking a
+// persistent length-prefixed binary frame protocol (used by cmd/netmax-live
+// to run a real process group). Both push model payloads through a
+// pluggable compression codec (internal/codec) and report encoded
+// bytes-on-wire, so compression-aware experiments run identically over
+// shared memory and sockets. The discrete-event simulator does not use this
+// package; this is the "system" half of the reproduction.
 package transport
 
 import (
 	"fmt"
 	"sync"
 	"time"
+
+	"netmax/internal/codec"
 )
 
 // ModelSource provides the current model vector of a worker; the transport
@@ -23,14 +28,59 @@ type ModelSource func() []float64
 
 // Peer is a remote worker that models can be pulled from.
 type Peer interface {
-	// PullModel returns the peer's freshest parameter vector.
-	PullModel() ([]float64, error)
+	// PullModel fetches the peer's freshest parameter vector, returning it
+	// undecoded. Callers decode at blend time with their then-current
+	// vector (Pull.Decode), so sparse codecs substitute the receiver's
+	// live values — not a stale snapshot — on untransmitted coordinates.
+	PullModel() (*Pull, error)
+}
+
+// Pull is one fetched model before decoding: the wire payload plus the
+// codec that produced it.
+type Pull struct {
+	codec   codec.Codec
+	dim     int
+	payload []byte
+	vec     []float64 // pre-decoded shortcut (lossless in-process pulls)
+	wire    int64
+}
+
+// NewPull wraps an encoded payload; the Pull takes ownership of it.
+func NewPull(c codec.Codec, dim int, payload []byte) *Pull {
+	return &Pull{codec: c, dim: dim, payload: payload, wire: int64(len(payload))}
+}
+
+// NewDecodedPull wraps an already-decoded vector (the in-process raw fast
+// path: lossless, so encode/decode would be pure overhead) with the wire
+// size the encoding would have had. The Pull takes ownership of vec.
+func NewDecodedPull(vec []float64, wire int64) *Pull {
+	return &Pull{vec: vec, dim: len(vec), wire: wire}
+}
+
+// WireBytes is the encoded payload size — the bytes-on-wire figure.
+func (p *Pull) WireBytes() int64 { return p.wire }
+
+// NeedsPrior reports whether Decode will consult a prior vector: only
+// payload-backed sparse codecs do, so dense and pre-decoded pulls spare
+// the receiver the cost of materializing one.
+func (p *Pull) NeedsPrior() bool { return p.vec == nil && p.codec.Sparse() }
+
+// Decode reconstructs the pulled vector. prior, when non-nil, supplies the
+// receiver's current values for coordinates a sparse codec did not
+// transmit (a mismatched length is ignored as stale). The returned slice
+// may alias the Pull's internal storage; a Pull is decoded once.
+func (p *Pull) Decode(prior []float64) ([]float64, error) {
+	if p.vec != nil {
+		return p.vec, nil
+	}
+	return p.codec.Decode(p.payload, p.dim, priorFor(prior, p.dim))
 }
 
 // MonitorClient is a worker's view of the Network Monitor.
 type MonitorClient interface {
-	// ReportTime delivers one smoothed iteration-time observation.
-	ReportTime(from, to int, secs float64) error
+	// ReportTime delivers one smoothed iteration-time observation together
+	// with the encoded byte size of the transfer it measured.
+	ReportTime(from, to int, secs float64, bytes int64) error
 	// FetchPolicy returns the latest (P, rho) and its version; workers
 	// poll and apply when the version advances.
 	FetchPolicy() (p [][]float64, rho float64, version int, err error)
@@ -40,10 +90,12 @@ type MonitorClient interface {
 
 // LocalNet is an in-process transport hub: workers register model sources
 // and pull from each other with injected latency, emulating a heterogeneous
-// network inside one OS process.
+// network inside one OS process. Pulls round-trip through the configured
+// codec, so compression loss and bytes-on-wire match the TCP transport.
 type LocalNet struct {
 	mu      sync.RWMutex
 	sources map[int]ModelSource
+	codec   codec.Codec
 	// Latency returns the artificial one-way delay for a pull from j by i
 	// at wall time t. Nil means no delay.
 	Latency func(i, j int, t time.Time) time.Duration
@@ -52,12 +104,12 @@ type LocalNet struct {
 	p        [][]float64
 	rho      float64
 	version  int
-	reports  func(from, to int, secs float64)
+	reports  func(from, to int, secs float64, bytes int64)
 }
 
-// NewLocalNet creates an empty hub.
+// NewLocalNet creates an empty hub using the raw codec.
 func NewLocalNet() *LocalNet {
-	return &LocalNet{sources: make(map[int]ModelSource)}
+	return &LocalNet{sources: make(map[int]ModelSource), codec: codec.Raw{}}
 }
 
 // Register installs worker id's model source.
@@ -65,6 +117,16 @@ func (l *LocalNet) Register(id int, src ModelSource) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sources[id] = src
+}
+
+// SetCodec switches the codec applied to subsequent pulls.
+func (l *LocalNet) SetCodec(c codec.Codec) {
+	if c == nil {
+		c = codec.Raw{}
+	}
+	l.mu.Lock()
+	l.codec = c
+	l.mu.Unlock()
 }
 
 // Peer returns a handle through which worker `from` pulls from worker `to`.
@@ -77,9 +139,10 @@ type localPeer struct {
 	from, to int
 }
 
-func (p *localPeer) PullModel() ([]float64, error) {
+func (p *localPeer) PullModel() (*Pull, error) {
 	p.net.mu.RLock()
 	src, ok := p.net.sources[p.to]
+	c := p.net.codec
 	p.net.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: no worker %d registered", p.to)
@@ -90,9 +153,16 @@ func (p *localPeer) PullModel() ([]float64, error) {
 		}
 	}
 	v := src()
-	out := make([]float64, len(v))
-	copy(out, v)
-	return out, nil
+	// Raw is lossless, so the default codec-less hot path keeps the plain
+	// copy instead of paying two byte-swapping passes per pull.
+	if _, ok := c.(codec.Raw); ok {
+		out := make([]float64, len(v))
+		copy(out, v)
+		return NewDecodedPull(out, c.WireBytes(len(v))), nil
+	}
+	// Encode through the codec: decoding happens at the caller's blend
+	// step, carrying exactly the loss a socket transfer would.
+	return NewPull(c, len(v), c.AppendEncode(nil, v)), nil
 }
 
 // SetPolicy publishes a new communication policy to all workers.
@@ -105,7 +175,7 @@ func (l *LocalNet) SetPolicy(p [][]float64, rho float64) {
 }
 
 // OnReport installs the monitor-side sink for time reports.
-func (l *LocalNet) OnReport(f func(from, to int, secs float64)) {
+func (l *LocalNet) OnReport(f func(from, to int, secs float64, bytes int64)) {
 	l.policyMu.Lock()
 	defer l.policyMu.Unlock()
 	l.reports = f
@@ -116,12 +186,12 @@ func (l *LocalNet) Monitor() MonitorClient { return (*localMonitor)(l) }
 
 type localMonitor LocalNet
 
-func (m *localMonitor) ReportTime(from, to int, secs float64) error {
+func (m *localMonitor) ReportTime(from, to int, secs float64, bytes int64) error {
 	m.policyMu.RLock()
 	f := m.reports
 	m.policyMu.RUnlock()
 	if f != nil {
-		f(from, to, secs)
+		f(from, to, secs, bytes)
 	}
 	return nil
 }

@@ -4,17 +4,22 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"netmax/internal/codec"
 )
 
 func TestLocalNetPull(t *testing.T) {
 	hub := NewLocalNet()
 	hub.Register(1, func() []float64 { return []float64{1, 2, 3} })
-	got, err := hub.Peer(0, 1).PullModel()
+	got, wire, err := pull(hub.Peer(0, 1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 3 || got[2] != 3 {
 		t.Fatalf("pulled %v", got)
+	}
+	if wire != 24 { // raw codec: 3 coords x 8 bytes
+		t.Fatalf("wire bytes = %d, want 24", wire)
 	}
 }
 
@@ -22,7 +27,7 @@ func TestLocalNetPullCopies(t *testing.T) {
 	backing := []float64{1, 2}
 	hub := NewLocalNet()
 	hub.Register(0, func() []float64 { return backing })
-	got, _ := hub.Peer(1, 0).PullModel()
+	got, _, _ := pull(hub.Peer(1, 0), nil)
 	got[0] = 99
 	if backing[0] != 1 {
 		t.Fatal("pull aliases source storage")
@@ -31,7 +36,7 @@ func TestLocalNetPullCopies(t *testing.T) {
 
 func TestLocalNetUnknownPeer(t *testing.T) {
 	hub := NewLocalNet()
-	if _, err := hub.Peer(0, 5).PullModel(); err == nil {
+	if _, _, err := pull(hub.Peer(0, 5), nil); err == nil {
 		t.Fatal("expected error for unknown peer")
 	}
 }
@@ -41,11 +46,31 @@ func TestLocalNetLatencyInjected(t *testing.T) {
 	hub.Register(1, func() []float64 { return []float64{1} })
 	hub.Latency = func(i, j int, _ time.Time) time.Duration { return 30 * time.Millisecond }
 	start := time.Now()
-	if _, err := hub.Peer(0, 1).PullModel(); err != nil {
+	if _, _, err := pull(hub.Peer(0, 1), nil); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 25*time.Millisecond {
 		t.Fatalf("latency not injected: %v", d)
+	}
+}
+
+func TestLocalNetCodecApplied(t *testing.T) {
+	hub := NewLocalNet()
+	hub.Register(1, func() []float64 { return []float64{4, -8, 0.5, 1} })
+	hub.SetCodec(codec.NewTopK(0.5)) // k = 2: coords 1 (-8) and 0 (4)
+	prior := []float64{10, 10, 10, 10}
+	got, wire, err := pull(hub.Peer(0, 1), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, -8, 10, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if wire != 4+2*8 { // count header + 2 (index, value) pairs
+		t.Fatalf("wire bytes = %d", wire)
 	}
 }
 
@@ -64,18 +89,20 @@ func TestLocalNetReports(t *testing.T) {
 	hub := NewLocalNet()
 	var mu sync.Mutex
 	var got []float64
-	hub.OnReport(func(from, to int, secs float64) {
+	var gotBytes []int64
+	hub.OnReport(func(from, to int, secs float64, bytes int64) {
 		mu.Lock()
 		got = append(got, secs)
+		gotBytes = append(gotBytes, bytes)
 		mu.Unlock()
 	})
-	if err := hub.Monitor().ReportTime(0, 1, 2.5); err != nil {
+	if err := hub.Monitor().ReportTime(0, 1, 2.5, 640); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	if len(got) != 1 || got[0] != 2.5 {
-		t.Fatalf("reports = %v", got)
+	if len(got) != 1 || got[0] != 2.5 || gotBytes[0] != 640 {
+		t.Fatalf("reports = %v bytes %v", got, gotBytes)
 	}
 }
 
@@ -86,12 +113,16 @@ func TestTCPWorkerPull(t *testing.T) {
 	}
 	defer srv.Close()
 	peer := &TCPPeer{From: 0, Addr: srv.Addr()}
-	got, err := peer.PullModel()
+	defer peer.Close()
+	got, wire, err := pull(peer, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || got[1] != 5 {
 		t.Fatalf("pulled %v", got)
+	}
+	if wire != 16 {
+		t.Fatalf("wire bytes = %d, want 16", wire)
 	}
 }
 
@@ -108,8 +139,13 @@ func TestTCPWorkerConcurrentPulls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			peer := &TCPPeer{Addr: srv.Addr()}
-			if _, err := peer.PullModel(); err != nil {
-				errs <- err
+			defer peer.Close()
+			// Several pulls per peer exercise connection reuse under load.
+			for n := 0; n < 4; n++ {
+				if _, _, err := pull(peer, nil); err != nil {
+					errs <- err
+					return
+				}
 			}
 		}()
 	}
@@ -123,9 +159,11 @@ func TestTCPWorkerConcurrentPulls(t *testing.T) {
 func TestTCPMonitorRoundTrip(t *testing.T) {
 	var mu sync.Mutex
 	reports := 0
-	srv, err := ServeMonitor("127.0.0.1:0", func(from, to int, secs float64) {
+	var reportedBytes int64
+	srv, err := ServeMonitor("127.0.0.1:0", func(from, to int, secs float64, bytes int64) {
 		mu.Lock()
 		reports++
+		reportedBytes = bytes
 		mu.Unlock()
 	})
 	if err != nil {
@@ -133,12 +171,13 @@ func TestTCPMonitorRoundTrip(t *testing.T) {
 	}
 	defer srv.Close()
 	client := &TCPMonitorClient{Addr: srv.Addr()}
-	if err := client.ReportTime(0, 1, 1.5); err != nil {
+	defer client.Close()
+	if err := client.ReportTime(0, 1, 1.5, 1024); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
-	if reports != 1 {
-		t.Fatalf("reports = %d", reports)
+	if reports != 1 || reportedBytes != 1024 {
+		t.Fatalf("reports = %d bytes %d", reports, reportedBytes)
 	}
 	mu.Unlock()
 
@@ -149,9 +188,23 @@ func TestTCPMonitorRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTCPMonitorEmptyPolicy(t *testing.T) {
+	srv, err := ServeMonitor("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &TCPMonitorClient{Addr: srv.Addr()}
+	defer client.Close()
+	p, _, v, err := client.FetchPolicy()
+	if err != nil || p != nil || v != 0 {
+		t.Fatalf("expected empty policy, got %v v=%d err=%v", p, v, err)
+	}
+}
+
 func TestTCPPeerDialError(t *testing.T) {
 	peer := &TCPPeer{Addr: "127.0.0.1:1"} // reserved port, nothing listening
-	if _, err := peer.PullModel(); err == nil {
+	if _, _, err := pull(peer, nil); err == nil {
 		t.Fatal("expected dial error")
 	}
 }
@@ -166,7 +219,72 @@ func TestTCPServerCloseIdempotentAccept(t *testing.T) {
 	}
 	// After close, pulls must fail rather than hang.
 	peer := &TCPPeer{Addr: srv.Addr()}
-	if _, err := peer.PullModel(); err == nil {
+	if _, _, err := pull(peer, nil); err == nil {
 		t.Fatal("pull succeeded after close")
 	}
+}
+
+// TestTCPPeerSurvivesServerRestart exercises the transparent redial: a
+// persistent connection dies with its server, and the next pull must
+// re-establish against the replacement listener on the same address.
+func TestTCPPeerSurvivesServerRestart(t *testing.T) {
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return []float64{1} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	peer := &TCPPeer{Addr: addr}
+	defer peer.Close()
+	if _, _, err := pull(peer, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := ServeWorker(addr, func() []float64 { return []float64{2} })
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	got, _, err := pull(peer, nil)
+	if err != nil {
+		t.Fatalf("pull after restart: %v", err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("pulled %v from restarted server", got)
+	}
+}
+
+func TestTCPHubPeerBeforeRegisterRecovers(t *testing.T) {
+	hub, err := NewTCPHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	// A peer handle fetched before the target registers must fail, not
+	// poison the cache for the post-registration lookup.
+	if _, _, err := pull(hub.Peer(0, 1), nil); err == nil {
+		t.Fatal("pull succeeded before registration")
+	}
+	hub.Register(1, func() []float64 { return []float64{6} })
+	got, _, err := pull(hub.Peer(0, 1), nil)
+	if err != nil {
+		t.Fatalf("pull after registration: %v", err)
+	}
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("pulled %v", got)
+	}
+}
+
+// pull fetches and decodes in one step — the common case in these tests.
+func pull(p Peer, prior []float64) ([]float64, int64, error) {
+	pl, err := p.PullModel()
+	if err != nil {
+		return nil, 0, err
+	}
+	vec, err := pl.Decode(prior)
+	if err != nil {
+		return nil, 0, err
+	}
+	return vec, pl.WireBytes(), nil
 }

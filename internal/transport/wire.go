@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"netmax/internal/codec"
+)
+
+// The binary wire protocol. Every message is one length-prefixed frame:
+//
+//	offset size  field
+//	0      4     uint32 N — byte length of the remainder (kind + codec + body)
+//	4      1     message kind (msg* below)
+//	5      1     codec id (codec.ID* — meaningful for pullResp, 0 elsewhere)
+//	6      N-2   body
+//
+// All integers are big-endian. Frames flow over persistent connections:
+// a client dials once, then exchanges request/response frames until it (or
+// the server) closes. Body encodings per kind:
+//
+//	msgPull        uint32 from
+//	msgPullResp    uint32 dim, then the codec payload for a dim-length vector
+//	msgReport      uint32 from, uint32 to, float64 secs, uint64 wire bytes
+//	msgReportAck   empty
+//	msgPolicy      empty
+//	msgPolicyResp  uint64 version, float64 rho, uint32 m, then m·m float64
+//	               (row-major P; m = 0 means no policy published yet)
+const (
+	msgPull uint8 = iota + 1
+	msgPullResp
+	msgReport
+	msgReportAck
+	msgPolicy
+	msgPolicyResp
+)
+
+// maxFrameBody caps a frame body; anything larger indicates a corrupt or
+// hostile stream (a VGG19-sized raw pull is ~1.1 GB of float64, so the cap
+// sits above every model in the zoo).
+const maxFrameBody = 2 << 30
+
+// frameHeaderLen is the fixed prefix: length, kind, codec id.
+const frameHeaderLen = 6
+
+// writeFrame emits one frame and flushes the writer.
+func writeFrame(w *bufio.Writer, kind, codecID uint8, body []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+2))
+	hdr[4] = kind
+	hdr[5] = codecID
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one complete frame, growing and reusing *buf for the body
+// (the returned body aliases *buf and is valid until the next call).
+func readFrame(r io.Reader, buf *[]byte) (kind, codecID uint8, body []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 2 {
+		return 0, 0, nil, fmt.Errorf("transport: frame length %d below header size", n)
+	}
+	if n-2 > maxFrameBody {
+		return 0, 0, nil, fmt.Errorf("transport: frame body %d bytes exceeds cap", n-2)
+	}
+	need := int(n - 2)
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	body = (*buf)[:need]
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return hdr[4], hdr[5], body, nil
+}
+
+// --- body encodings ---
+
+func appendPullReq(dst []byte, from int) []byte {
+	return binary.BigEndian.AppendUint32(dst, uint32(from))
+}
+
+func parsePullReq(body []byte) (from int, err error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("transport: pull request body %d bytes, want 4", len(body))
+	}
+	return int(binary.BigEndian.Uint32(body)), nil
+}
+
+func appendReport(dst []byte, from, to int, secs float64, bytes int64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(from))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(to))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(secs))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(bytes))
+	return dst
+}
+
+func parseReport(body []byte) (from, to int, secs float64, bytes int64, err error) {
+	if len(body) != 24 {
+		return 0, 0, 0, 0, fmt.Errorf("transport: report body %d bytes, want 24", len(body))
+	}
+	from = int(binary.BigEndian.Uint32(body[0:]))
+	to = int(binary.BigEndian.Uint32(body[4:]))
+	secs = math.Float64frombits(binary.BigEndian.Uint64(body[8:]))
+	bytes = int64(binary.BigEndian.Uint64(body[16:]))
+	return from, to, secs, bytes, nil
+}
+
+func appendPolicyResp(dst []byte, p [][]float64, rho float64, version int) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(version))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(rho))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(p)))
+	for _, row := range p {
+		for _, v := range row {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+func parsePolicyResp(body []byte) (p [][]float64, rho float64, version int, err error) {
+	if len(body) < 20 {
+		return nil, 0, 0, fmt.Errorf("transport: policy body %d bytes, want >= 20", len(body))
+	}
+	version = int(binary.BigEndian.Uint64(body[0:]))
+	rho = math.Float64frombits(binary.BigEndian.Uint64(body[8:]))
+	m := int(binary.BigEndian.Uint32(body[16:]))
+	// Bound m before squaring: a wire-supplied m near 2^32 overflows the
+	// expected-length arithmetic and would drive an unbounded allocation.
+	if maxM := 1 << 15; m > maxM {
+		return nil, 0, 0, fmt.Errorf("transport: policy worker count %d exceeds cap %d", m, maxM)
+	}
+	if want := 20 + 8*m*m; len(body) != want {
+		return nil, 0, 0, fmt.Errorf("transport: policy body %d bytes, want %d for m=%d", len(body), want, m)
+	}
+	if m == 0 {
+		return nil, rho, version, nil
+	}
+	p = make([][]float64, m)
+	off := 20
+	for i := range p {
+		p[i] = make([]float64, m)
+		for j := range p[i] {
+			p[i][j] = math.Float64frombits(binary.BigEndian.Uint64(body[off:]))
+			off += 8
+		}
+	}
+	return p, rho, version, nil
+}
+
+// maxVectorDim caps the vector dimension a pull response may advertise:
+// the largest dense float64 vector a frame could carry. Sparse payloads
+// are small regardless of dim, so without this bound a corrupt 8-byte
+// top-k frame could claim dim=2^32-1 and force a ~34 GB allocation in the
+// decoder; with it, a hostile dim buys at most what a legitimate dense
+// frame could anyway.
+const maxVectorDim = maxFrameBody / 8
+
+// appendPullResp frames a model vector: dim header plus the codec payload
+// (whose length, len(result)-len(dst)-4, is the bytes-on-wire figure —
+// clients measure it on receive).
+func appendPullResp(dst []byte, vec []float64, c codec.Codec) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(vec)))
+	return c.AppendEncode(dst, vec)
+}
+
+func parsePullRespHeader(body []byte) (dim int, payload []byte, err error) {
+	if len(body) < 4 {
+		return 0, nil, fmt.Errorf("transport: pull response body %d bytes, want >= 4", len(body))
+	}
+	dim = int(binary.BigEndian.Uint32(body))
+	if dim > maxVectorDim {
+		return 0, nil, fmt.Errorf("transport: pull response dim %d exceeds cap %d", dim, maxVectorDim)
+	}
+	return dim, body[4:], nil
+}

@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"netmax/internal/codec"
+)
+
+// chunkReader returns at most one byte per Read call, forcing readFrame to
+// reassemble frames from many short reads — the same situation a large
+// vector split across TCP segments produces.
+type chunkReader struct{ r io.Reader }
+
+func (c chunkReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return c.r.Read(p)
+}
+
+func TestFrameRoundTripAcrossShortReads(t *testing.T) {
+	var raw bytes.Buffer
+	w := bufio.NewWriter(&raw)
+	body := appendReport(nil, 3, 7, 1.25, 4096)
+	if err := writeFrame(w, msgReport, 0, body); err != nil {
+		t.Fatal(err)
+	}
+	kind, codecID, got, err := readFrame(chunkReader{&raw}, new([]byte))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != msgReport || codecID != 0 {
+		t.Fatalf("kind=%d codec=%d", kind, codecID)
+	}
+	from, to, secs, wire, err := parseReport(got)
+	if err != nil || from != 3 || to != 7 || secs != 1.25 || wire != 4096 {
+		t.Fatalf("report = %d %d %v %d (%v)", from, to, secs, wire, err)
+	}
+}
+
+func TestFrameRejectsCorruptHeaders(t *testing.T) {
+	// Length below the kind+codec minimum.
+	short := []byte{0, 0, 0, 1, 0, 0}
+	if _, _, _, err := readFrame(bytes.NewReader(short), new([]byte)); err == nil {
+		t.Fatal("accepted undersized frame length")
+	}
+	// Length far beyond the body cap.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0}
+	if _, _, _, err := readFrame(bytes.NewReader(huge), new([]byte)); err == nil {
+		t.Fatal("accepted oversized frame length")
+	}
+	// Truncated body.
+	trunc := []byte{0, 0, 0, 10, msgPull, 0, 1, 2}
+	if _, _, _, err := readFrame(bytes.NewReader(trunc), new([]byte)); err == nil {
+		t.Fatal("accepted truncated frame")
+	}
+}
+
+// TestTCPLargeVectorPull moves a multi-megabyte model through the wire
+// protocol, guaranteeing the frame spans many TCP segments and loopback
+// socket buffers.
+func TestTCPLargeVectorPull(t *testing.T) {
+	const dim = 400_000 // 3.2 MB raw payload
+	rng := rand.New(rand.NewSource(11))
+	vec := make([]float64, dim)
+	for i := range vec {
+		vec[i] = rng.NormFloat64()
+	}
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return vec })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	peer := &TCPPeer{Addr: srv.Addr()}
+	defer peer.Close()
+	got, wire, err := pull(peer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire != 8*dim {
+		t.Fatalf("wire bytes = %d, want %d", wire, 8*dim)
+	}
+	for i := range vec {
+		if got[i] != vec[i] {
+			t.Fatalf("coord %d: %v != %v", i, got[i], vec[i])
+		}
+	}
+}
+
+// TestTCPCodecNegotiation checks that the codec id in the response frame is
+// authoritative: the client decodes with whatever codec the server used,
+// including after a mid-run codec switch.
+func TestTCPCodecNegotiation(t *testing.T) {
+	vec := []float64{4, -8, 0.5, 1}
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return vec })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	peer := &TCPPeer{Addr: srv.Addr()}
+	defer peer.Close()
+
+	got, wire, err := pull(peer, nil)
+	if err != nil || wire != 32 {
+		t.Fatalf("raw pull: %v wire=%d", err, wire)
+	}
+	if got[1] != -8 {
+		t.Fatalf("raw pull decoded %v", got)
+	}
+
+	srv.SetCodec(codec.NewTopK(0.5))
+	prior := []float64{10, 10, 10, 10}
+	got, wire, err = pull(peer, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, -8, 10, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topk pull decoded %v, want %v", got, want)
+		}
+	}
+	if wire != 4+2*8 {
+		t.Fatalf("topk wire bytes = %d", wire)
+	}
+
+	srv.SetCodec(codec.Float32{})
+	_, wire, err = pull(peer, nil)
+	if err != nil || wire != 16 {
+		t.Fatalf("float32 pull: %v wire=%d", err, wire)
+	}
+}
+
+// waitForGoroutines polls until the live goroutine count drops back to the
+// baseline (transport teardown is asynchronous only up to scheduler delay).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPHubCloseLeaksNoGoroutines is the shutdown gate: after heavy use of
+// persistent connections, Close must unblock every accept loop and
+// connection handler and leave no transport goroutines behind.
+func TestTCPHubCloseLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	hub, err := NewTCPHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.SetCodec(codec.Float32{})
+	for id := 0; id < 3; id++ {
+		v := []float64{float64(id), float64(id + 1)}
+		hub.Register(id, func() []float64 { return v })
+	}
+	hub.OnReport(func(int, int, float64, int64) {})
+	mon := hub.Monitor()
+	for from := 0; from < 3; from++ {
+		for to := 0; to < 3; to++ {
+			if from == to {
+				continue
+			}
+			if _, _, err := pull(hub.Peer(from, to), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := mon.ReportTime(0, 1, 0.5, 16); err != nil {
+		t.Fatal(err)
+	}
+	hub.SetPolicy([][]float64{{0, 1, 0}, {1, 0, 0}, {0, 0, 1}}, 0.3)
+	if _, _, v, err := mon.FetchPolicy(); err != nil || v != 1 {
+		t.Fatalf("policy fetch: v=%d err=%v", v, err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestTCPServerCloseUnblocksIdleConnection pins the listener-shutdown fix:
+// a handler blocked reading an idle persistent connection must be torn down
+// by Close rather than keeping the server alive.
+func TestTCPServerCloseUnblocksIdleConnection(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return []float64{1} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := &TCPPeer{Addr: srv.Addr()}
+	defer peer.Close()
+	if _, _, err := pull(peer, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The connection now sits idle; the server handler is blocked in a
+	// frame read. Close must return promptly anyway.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an idle persistent connection")
+	}
+	peer.Close()
+	waitForGoroutines(t, baseline)
+}
+
+func TestPullRespHeaderRejectsOversizedDim(t *testing.T) {
+	// A sparse payload is tiny regardless of the advertised dim, so a
+	// corrupt header must not drive a huge decoder allocation.
+	body := make([]byte, 4+8) // dim header + topk k=1 entry
+	body[0], body[1], body[2], body[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := parsePullRespHeader(body); err == nil {
+		t.Fatal("accepted dim beyond the dense-frame cap")
+	}
+	// A legitimate dense-scale dim still parses.
+	ok := appendPullResp(nil, []float64{1, 2}, codec.Raw{})
+	if dim, payload, err := parsePullRespHeader(ok); err != nil || dim != 2 || len(payload) != 16 {
+		t.Fatalf("round trip: dim=%d payload=%d err=%v", dim, len(payload), err)
+	}
+}
+
+func TestPolicyRespRejectsOversizedWorkerCount(t *testing.T) {
+	// m near 2^32 overflows the naive expected-length arithmetic; the
+	// parser must reject it before allocating.
+	body := appendPolicyResp(nil, nil, 0.5, 1)
+	body[16], body[17], body[18], body[19] = 0x80, 0x00, 0x00, 0x00
+	if _, _, _, err := parsePolicyResp(body); err == nil {
+		t.Fatal("accepted absurd policy worker count")
+	}
+}
