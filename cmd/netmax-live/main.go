@@ -8,6 +8,7 @@
 //	netmax-live -workers 4 -seconds 5 -tcp
 //	netmax-live -tcp -codec float32
 //	netmax-live -tcp -codec topk -topk 0.1
+//	netmax-live -crash 2 -crash-at 1.5 -rejoin-at 3    # kill worker 2 mid-run
 package main
 
 import (
@@ -34,6 +35,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		codecName = flag.String("codec", "raw", "model pull compression codec: "+strings.Join(codec.Names(), ", "))
 		topkFrac  = flag.Float64("topk", codec.DefaultTopKFrac, "fraction of coordinates the topk codec keeps per pull")
+		pullTO    = flag.Float64("pull-timeout", 2, "per-call pull deadline in seconds (0 disables)")
+		crash     = flag.Int("crash", -1, "worker to crash mid-run (-1 disables)")
+		crashAt   = flag.Float64("crash-at", 1, "crash time in seconds since start")
+		rejoinAt  = flag.Float64("rejoin-at", 0, "rejoin time in seconds since start (<= crash-at means permanent)")
 	)
 	flag.Parse()
 
@@ -51,16 +56,32 @@ func main() {
 
 	train, test := data.SynthMNIST.Generate(*seed)
 	cfg := live.Config{
-		Spec:     nn.SimMobileNet,
-		Part:     data.Uniform(train, *workers, *seed),
-		Test:     test,
-		LR:       0.1,
-		Batch:    16,
-		Seed:     *seed,
-		Ts:       400 * time.Millisecond,
-		Duration: time.Duration(*seconds * float64(time.Second)),
-		Uniform:  *uniform,
-		Codec:    cdc,
+		Spec:        nn.SimMobileNet,
+		Part:        data.Uniform(train, *workers, *seed),
+		Test:        test,
+		LR:          0.1,
+		Batch:       16,
+		Seed:        *seed,
+		Ts:          400 * time.Millisecond,
+		Duration:    time.Duration(*seconds * float64(time.Second)),
+		Uniform:     *uniform,
+		Codec:       cdc,
+		PullTimeout: time.Duration(*pullTO * float64(time.Second)),
+	}
+	if cfg.PullTimeout == 0 {
+		cfg.PullTimeout = -1 // flag semantics: 0 disables deadlines
+	}
+	if *crash >= 0 && *crash < *workers {
+		cfg.Churn = []live.ChurnEvent{{
+			Worker: *crash,
+			At:     time.Duration(*crashAt * float64(time.Second)),
+			Rejoin: time.Duration(*rejoinAt * float64(time.Second)),
+		}}
+		if *rejoinAt > *crashAt {
+			fmt.Printf("churn: worker %d crashes at %.1fs, rejoins at %.1fs\n", *crash, *crashAt, *rejoinAt)
+		} else {
+			fmt.Printf("churn: worker %d leaves permanently at %.1fs\n", *crash, *crashAt)
+		}
 	}
 	var hub live.Hub
 	if *tcp {
@@ -92,6 +113,7 @@ func main() {
 	fmt.Printf("iterations per worker: %v\n", stats.IterationsPerWorker)
 	fmt.Printf("policy broadcasts:     %d\n", stats.PolicyVersions)
 	fmt.Printf("model pulls:           %d\n", stats.Pulls)
+	fmt.Printf("peer-down pulls:       %d\n", stats.PeerDownErrors)
 	fmt.Printf("bytes on wire:         %d (%s codec)\n", stats.BytesOnWire, cdc.Name())
 	fmt.Printf("final loss:            %.4f\n", stats.FinalLoss)
 	fmt.Printf("final accuracy:        %.2f%%\n", 100*stats.FinalAccuracy)

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"time"
 
@@ -22,6 +23,14 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
+	workers, iters := 4, 150
+	simWorkers, epochs := 8, 10
+	if *quick {
+		iters = 30
+		simWorkers, epochs = 4, 2
+	}
 	codecs := []codec.Codec{
 		codec.Raw{},
 		codec.Float32{},
@@ -36,7 +45,6 @@ func main() {
 	}
 
 	// --- live runtime: real goroutine workers, SynthMNIST on SimMobileNet ---
-	const workers, iters = 4, 150
 	fmt.Printf("live group: %d workers x %d iterations, SynthMNIST, %s stand-in\n\n",
 		workers, iters, nn.SimMobileNet.Name)
 	fmt.Printf("%-10s  %14s  %10s  %10s  %9s\n", "codec", "bytes on wire", "vs raw", "pulls", "accuracy")
@@ -65,7 +73,6 @@ func main() {
 
 	// --- discrete-event engine: MobileNet-scale transfers on the paper's
 	// heterogeneous cluster, so compression moves the virtual clock ---
-	const simWorkers, epochs = 8, 10
 	fmt.Printf("\nsimulated cluster: %d workers x %d epochs, %s (%d MB raw pulls), dynamic slow link\n\n",
 		simWorkers, epochs, nn.SimMobileNet.Name, nn.SimMobileNet.ModelBytes()*2/1_000_000)
 	fmt.Printf("%-10s  %14s  %12s  %12s  %9s\n", "codec", "bytes on wire", "vs raw", "total time", "accuracy")

@@ -4,9 +4,11 @@
 // and both parameter-server variants.
 //
 //	go run ./examples/crossregion
+//	go run ./examples/crossregion -quick
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"netmax"
@@ -15,10 +17,16 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
+	epochs := 25
+	if *quick {
+		epochs = 3 // six regions are fixed by the WAN matrix; only time shrinks
+	}
 	train, test := netmax.Dataset(netmax.SynthMNIST, 1)
 
 	mkCfg := func() *netmax.Config {
-		cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, 6, 25, 1)
+		cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, 6, epochs, 1)
 		cfg.Net = simnet.NewCrossRegion()
 		cfg.Part = data.LabelSkew(train, data.TableVIISkew(), 1)
 		cfg.Batch = 8

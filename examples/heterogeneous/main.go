@@ -5,17 +5,24 @@
 // convergence-time speedups.
 //
 //	go run ./examples/heterogeneous
+//	go run ./examples/heterogeneous -quick
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"netmax"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
 	train, test := netmax.Dataset(netmax.SynthCIFAR10, 1)
-	const workers, epochs = 8, 30
+	workers, epochs := 8, 30
+	if *quick {
+		workers, epochs = 4, 3
+	}
 
 	type run struct {
 		name string

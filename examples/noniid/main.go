@@ -4,9 +4,11 @@
 // information flowing from rarely-contacted peers, preserving accuracy.
 //
 //	go run ./examples/noniid
+//	go run ./examples/noniid -quick
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"netmax"
@@ -14,10 +16,16 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
+	epochs := 25
+	if *quick {
+		epochs = 3 // the Table IV skew needs all 8 workers; only time shrinks
+	}
 	train, test := netmax.Dataset(netmax.SynthMNIST, 1)
 
 	mkCfg := func() *netmax.Config {
-		cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, 8, 25, 1)
+		cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, 8, epochs, 1)
 		// Table IV: workers on server 1 never see digits {0,1,x}; workers
 		// on server 2 never see {5,6,y}.
 		cfg.Part = data.LabelSkew(train, data.TableIVSkew(), 1)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"netmax"
@@ -25,6 +26,10 @@ func printPolicy(label string, p *netmax.Policy) {
 }
 
 func main() {
+	// Accepted for CI uniformity: every example takes -quick, and this one
+	// is already tiny (pure policy generation, no training loop).
+	flag.Bool("quick", false, "no-op; the run is already tiny")
+	flag.Parse()
 	const m = 5
 	adj := simnet.FullyConnected(m)
 	mk := func() [][]float64 {

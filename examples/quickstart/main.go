@@ -3,22 +3,31 @@
 // AD-PSGD on the identical workload.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -quick
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"netmax"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny run for smoke tests")
+	flag.Parse()
+	workers, epochs := 8, 30
+	if *quick {
+		workers, epochs = 4, 3
+	}
+
 	train, test := netmax.Dataset(netmax.SynthCIFAR10, 1)
 
-	cfg := netmax.ClusterConfig(netmax.SimResNet18, train, test, 8, 30, 1)
-	fmt.Println("Training NetMax (8 workers, heterogeneous network)...")
+	cfg := netmax.ClusterConfig(netmax.SimResNet18, train, test, workers, epochs, 1)
+	fmt.Printf("Training NetMax (%d workers, heterogeneous network)...\n", workers)
 	nm := netmax.Train(cfg, netmax.Options{})
 
-	cfg2 := netmax.ClusterConfig(netmax.SimResNet18, train, test, 8, 30, 1)
+	cfg2 := netmax.ClusterConfig(netmax.SimResNet18, train, test, workers, epochs, 1)
 	fmt.Println("Training AD-PSGD on the identical workload...")
 	ad := netmax.TrainADPSGD(cfg2)
 
@@ -29,8 +38,8 @@ func main() {
 	}
 
 	fmt.Printf("\n%-8s total=%7.1fs  acc=%5.2f%%  comm/epoch=%5.2fs\n",
-		"NetMax", nm.TotalTime, 100*nm.FinalAccuracy, nm.CommCostPerEpoch(8))
+		"NetMax", nm.TotalTime, 100*nm.FinalAccuracy, nm.CommCostPerEpoch(workers))
 	fmt.Printf("%-8s total=%7.1fs  acc=%5.2f%%  comm/epoch=%5.2fs\n",
-		"AD-PSGD", ad.TotalTime, 100*ad.FinalAccuracy, ad.CommCostPerEpoch(8))
+		"AD-PSGD", ad.TotalTime, 100*ad.FinalAccuracy, ad.CommCostPerEpoch(workers))
 	fmt.Printf("\nNetMax epoch-time speedup over AD-PSGD: %.2fx\n", ad.TotalTime/nm.TotalTime)
 }

@@ -16,26 +16,46 @@ import (
 
 // uniformAsync is the AD-PSGD / GoSGD behavior: uniform neighbor selection
 // over a (possibly sparsified) adjacency, fixed averaging weight 1/2, no
-// periodic control.
+// periodic control. Membership events renormalize the selection over the
+// live peers — process-level crash detection is fast even for a policy-less
+// algorithm — but the selection never *adapts*: hung peers and slow links
+// keep their uniform share, which is exactly the weakness the churn
+// scenarios demonstrate.
 type uniformAsync struct {
-	p [][]float64
+	adj [][]bool
+	p   [][]float64
+}
+
+func newUniformAsync(adj [][]bool) *uniformAsync {
+	return &uniformAsync{adj: adj, p: policy.Uniform(adj)}
 }
 
 func (u *uniformAsync) SelectPeer(i int, now float64, rng *rand.Rand) int {
-	r := rng.Float64()
-	acc := 0.0
-	for j, pj := range u.p[i] {
-		acc += pj
-		if r < acc {
-			return j
-		}
-	}
-	return i
+	return policy.Sample(u.p[i], i, rng)
 }
 
 func (u *uniformAsync) BlendCoef(i, j int) float64              { return 0.5 }
 func (u *uniformAsync) OnIterationEnd(i, j int, s, now float64) {}
 func (u *uniformAsync) Tick(now float64)                        {}
+
+// OnMembership rebuilds the uniform selection over the live subgraph so
+// crashed peers stop being selected and rejoining ones are re-admitted.
+func (u *uniformAsync) OnMembership(alive []bool, now float64) {
+	u.p = policy.Uniform(liveAdj(u.adj, alive))
+}
+
+// liveAdj restricts an adjacency to the live workers.
+func liveAdj(adj [][]bool, alive []bool) [][]bool {
+	m := len(adj)
+	out := make([][]bool, m)
+	for i := range out {
+		out[i] = make([]bool, m)
+		for j := range out[i] {
+			out[i][j] = adj[i][j] && alive[i] && alive[j]
+		}
+	}
+	return out
+}
 
 // Symmetric marks the averaging as two-sided: AD-PSGD's atomic averaging
 // sets both endpoints to the midpoint [11].
@@ -44,15 +64,13 @@ func (u *uniformAsync) Symmetric() bool { return true }
 // RunADPSGD trains with asynchronous decentralized parallel SGD [11]: each
 // worker repeatedly averages its model with one uniformly random neighbor.
 func RunADPSGD(cfg *engine.Config) *engine.Result {
-	b := &uniformAsync{p: policy.Uniform(cfg.Net.Topo.Adj)}
-	return engine.RunAsync(cfg, b, "AD-PSGD")
+	return engine.RunAsync(cfg, newUniformAsync(cfg.Net.Topo.Adj), "AD-PSGD")
 }
 
 // RunGossip trains with GoSGD-style gossip [12]; operationally it is the
 // uniform pull-average loop, identical to AD-PSGD in this timing model.
 func RunGossip(cfg *engine.Config) *engine.Result {
-	b := &uniformAsync{p: policy.Uniform(cfg.Net.Topo.Adj)}
-	return engine.RunAsync(cfg, b, "Gossip")
+	return engine.RunAsync(cfg, newUniformAsync(cfg.Net.Topo.Adj), "Gossip")
 }
 
 // SAPSSubgraph builds SAPS-PSGD's static communication subgraph [15]: the
@@ -144,6 +162,6 @@ func (s *sapsAsync) TransferBytes(full int64) int64 {
 // RunSAPS trains with SAPS-PSGD [15]: sparsified uniform gossip restricted
 // to the static initially-fast subgraph.
 func RunSAPS(cfg *engine.Config) *engine.Result {
-	b := &sapsAsync{uniformAsync{p: policy.Uniform(SAPSSubgraph(cfg))}}
+	b := &sapsAsync{*newUniformAsync(SAPSSubgraph(cfg))}
 	return engine.RunAsync(cfg, b, "SAPS-PSGD")
 }

@@ -29,16 +29,7 @@ type dlionAsync struct {
 }
 
 func (d *dlionAsync) SelectPeer(i int, now float64, rng *rand.Rand) int {
-	r := rng.Float64()
-	acc := 0.0
-	j := i
-	for k, pk := range d.p[i] {
-		acc += pk
-		if r < acc {
-			j = k
-			break
-		}
-	}
+	j := policy.Sample(d.p[i], i, rng)
 	if j != i {
 		frac := d.cfg.Net.Rate(i, j, now) / d.refRate
 		if frac > 1 {

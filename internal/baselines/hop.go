@@ -1,8 +1,6 @@
 package baselines
 
 import (
-	"math/rand"
-
 	"netmax/internal/engine"
 	"netmax/internal/policy"
 )
@@ -76,7 +74,7 @@ func RunHop(cfg *engine.Config, staleness int) *engine.Result {
 			continue
 		}
 		w := ws[i]
-		j := sampleNeighbor(p[i], i, w.Rng)
+		j := policy.Sample(p[i], i, w.Rng)
 		_, samples := w.GradStep()
 		if j != i {
 			// AD-PSGD-style symmetric atomic averaging.
@@ -97,16 +95,4 @@ func RunHop(cfg *engine.Config, staleness int) *engine.Result {
 		q.Push(now+iterSecs, i)
 	}
 	return tr.Finish()
-}
-
-func sampleNeighbor(row []float64, self int, rng *rand.Rand) int {
-	r := rng.Float64()
-	acc := 0.0
-	for j, pj := range row {
-		acc += pj
-		if r < acc {
-			return j
-		}
-	}
-	return self
 }

@@ -47,6 +47,12 @@ type Options struct {
 	// itself defaults to NumCPU; 1 = serial). Results are bitwise
 	// identical at any setting — see engine.Config.Parallelism.
 	Parallelism int
+	// StalePeriods enables the Network Monitor's liveness tracking: a
+	// worker silent for this many monitor periods is evicted and policies
+	// regenerate over the live subgraph (see monitor.Config.StalePeriods).
+	// Zero disables eviction — the right setting for failure-free runs,
+	// where it keeps trajectories bitwise identical to historical ones.
+	StalePeriods int
 }
 
 func (o *Options) defaults() {
@@ -71,9 +77,17 @@ type behavior struct {
 	alpha float64
 	mon   *monitor.Monitor
 
-	p   [][]float64 // current policy matrix
-	rho float64
-	ema [][]float64 // worker-side EMA time vectors T_i
+	p       [][]float64 // current policy matrix
+	uniform [][]float64 // fallback rows for re-admitted workers
+	rho     float64
+	ema     [][]float64 // worker-side EMA time vectors T_i
+
+	// mask marks peers known dead through membership events; masked peers
+	// are skipped in selection (their row mass renormalized away) until
+	// the monitor regenerates a policy over the live subgraph or the peer
+	// rejoins. Nil until the first membership event, which keeps the
+	// failure-free sampling path bitwise identical to the historical one.
+	mask []bool
 }
 
 func newBehavior(cfg *engine.Config, opts Options) *behavior {
@@ -81,11 +95,12 @@ func newBehavior(cfg *engine.Config, opts Options) *behavior {
 	adj := cfg.Net.Topo.Adj
 	m := len(adj)
 	b := &behavior{
-		opts:  opts,
-		adj:   adj,
-		alpha: cfg.LR,
-		p:     policy.Uniform(adj),
-		ema:   make([][]float64, m),
+		opts:    opts,
+		adj:     adj,
+		alpha:   cfg.LR,
+		p:       policy.Uniform(adj),
+		uniform: policy.Uniform(adj),
+		ema:     make([][]float64, m),
 	}
 	for i := range b.ema {
 		b.ema[i] = make([]float64, m)
@@ -116,22 +131,44 @@ func newBehavior(cfg *engine.Config, opts Options) *behavior {
 		InnerRounds:    opts.PolicyRounds,
 		Epsilon:        opts.Epsilon,
 		AveragingBlend: opts.FixedBlend,
+		StalePeriods:   opts.StalePeriods,
 	})
 	return b
 }
 
 // SelectPeer samples neighbor m with probability p[i][m] (Algorithm 2
-// line 9); p[i][i] mass means "no pull this iteration".
+// line 9); p[i][i] mass means "no pull this iteration". Peers masked by
+// membership events are skipped until the monitor regenerates the policy.
+//
+// If worker i's own row carries no peer mass — the row GenerateLive pins
+// onto workers presumed dead — the worker is by construction alive (the
+// engine only runs live workers' events), so the row is repaired to the
+// uniform one in place: staying silent would mean never reporting and
+// never being re-admitted. Repairing b.p (rather than substituting only
+// here) matters because BlendCoef reads the same row — a fallback that
+// sampled from uniform but left p_ij = 0 would pull models and blend them
+// with coefficient zero, paying bandwidth for nothing. Failure-free
+// policies always carry peer mass (the Eq. 11 floors), so this path
+// cannot fire without churn.
 func (b *behavior) SelectPeer(i int, now float64, rng *rand.Rand) int {
-	r := rng.Float64()
-	acc := 0.0
-	for j, pj := range b.p[i] {
-		acc += pj
-		if r < acc {
-			return j
-		}
+	if policy.SelfOnly(b.p[i], i) {
+		b.p[i] = b.uniform[i]
 	}
-	return i
+	return policy.SampleMasked(b.p[i], i, b.mask, rng)
+}
+
+// OnMembership masks crashed peers out of selection immediately and feeds
+// the membership to the monitor, which forces a policy regeneration over
+// the live subgraph at the next Tick (the row LPs re-solve on every
+// membership change).
+func (b *behavior) OnMembership(alive []bool, now float64) {
+	if b.mask == nil {
+		b.mask = make([]bool, len(alive))
+	}
+	for i, a := range alive {
+		b.mask[i] = !a
+	}
+	b.mon.SetLiveness(alive, now)
 }
 
 // BlendCoef implements Algorithm 2 lines 13-14: the pulled model enters with
@@ -170,7 +207,7 @@ func (b *behavior) OnIterationEnd(i, j int, iterSecs, now float64) {
 	} else {
 		b.ema[i][j] = b.opts.Beta*b.ema[i][j] + (1-b.opts.Beta)*iterSecs
 	}
-	b.mon.Observe(i, j, b.ema[i][j])
+	b.mon.ObserveAt(i, j, b.ema[i][j], now)
 }
 
 // Symmetric reports whether the blend applies to both endpoints: NetMax's

@@ -8,6 +8,7 @@ import (
 	"netmax/internal/data"
 	"netmax/internal/engine"
 	"netmax/internal/nn"
+	"netmax/internal/policy"
 	"netmax/internal/simnet"
 )
 
@@ -198,5 +199,69 @@ func TestEMAUpdateRule(t *testing.T) {
 	b.OnIterationEnd(2, 2, 9.0, 2)
 	if b.ema[2][2] != 0 {
 		t.Fatal("self iteration should not touch EMA")
+	}
+}
+
+// TestNetMaxSurvivesCrashRejoin runs NetMax end to end through a crash +
+// rejoin with monitor liveness tracking enabled: the run must finish every
+// epoch, keep the loss decreasing in trend, and leave no peer masked.
+func TestNetMaxSurvivesCrashRejoin(t *testing.T) {
+	clean := Run(hetConfig(4, 4, 3), Options{Ts: 2})
+	cfg := hetConfig(4, 4, 3)
+	cfg.Failures = simnet.NewFailureSchedule().
+		Crash(1, clean.TotalTime*0.25, clean.TotalTime*0.55)
+	r := Run(cfg, Options{Ts: 2, StalePeriods: 2})
+	if r.Epochs != 4 {
+		t.Fatalf("churn run completed %d epochs, want 4", r.Epochs)
+	}
+	n := len(r.Curve)
+	if !(r.Curve[n-1].Value < r.Curve[0].Value) {
+		t.Fatalf("loss trend not decreasing through churn: %v -> %v",
+			r.Curve[0].Value, r.Curve[n-1].Value)
+	}
+	if math.IsNaN(r.FinalLoss) || math.IsInf(r.FinalLoss, 0) {
+		t.Fatalf("final loss not finite: %v", r.FinalLoss)
+	}
+}
+
+// TestNetMaxFailureFreeScheduleIdentical pins the bitwise gate one level
+// up: a NetMax run with an inert schedule attached matches the bare run.
+func TestNetMaxFailureFreeScheduleIdentical(t *testing.T) {
+	a := Run(hetConfig(4, 2, 3), Options{Ts: 2})
+	cfg := hetConfig(4, 2, 3)
+	cfg.Failures = simnet.NewFailureSchedule() // empty
+	b := Run(cfg, Options{Ts: 2})
+	if a.TotalTime != b.TotalTime || a.FinalLoss != b.FinalLoss || a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatalf("inert schedule changed the trajectory: %v/%v vs %v/%v",
+			a.TotalTime, a.FinalLoss, b.TotalTime, b.FinalLoss)
+	}
+}
+
+// TestNetMaxReadmitsEvictedWorker is the regression test for the exile
+// loop: a worker down long enough to be evicted used to adopt the policy
+// row pinned to self, never pull, never report, and never be re-admitted —
+// while the coverage gate froze policy regeneration for the whole cluster.
+// After the rejoin, the worker must end the run live and receiving pulls.
+func TestNetMaxReadmitsEvictedWorker(t *testing.T) {
+	clean := Run(hetConfig(4, 2, 3), Options{Ts: 2})
+	cfg := hetConfig(4, 8, 3)
+	// Down for many staleness windows (Ts=2, k=1): guaranteed eviction.
+	crashAt := clean.TotalTime * 0.5
+	rejoinAt := crashAt + 10*2
+	cfg.Failures = simnet.NewFailureSchedule().Crash(1, crashAt, rejoinAt)
+	b := newBehavior(cfg, Options{Ts: 2, StalePeriods: 1})
+	r := engine.RunAsync(cfg, b, "NetMax")
+	if r.Epochs != 8 {
+		t.Fatalf("run completed %d epochs, want 8", r.Epochs)
+	}
+	alive := b.mon.LiveWorkers(r.TotalTime)
+	if b.mon.Evictions == 0 {
+		t.Fatal("worker was never evicted; the scenario did not exercise re-admission")
+	}
+	if !alive[1] {
+		t.Fatal("rejoined worker still considered dead at run end (exile loop)")
+	}
+	if policy.SelfOnly(b.p[1], 1) {
+		t.Fatalf("final policy still pins the rejoined worker to self: %v", b.p[1])
 	}
 }

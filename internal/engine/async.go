@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"netmax/internal/tensor"
@@ -40,6 +41,19 @@ type SymmetricBlender interface {
 	Symmetric() bool
 }
 
+// MembershipAware is an optional AsyncBehavior refinement for behaviors
+// that react to cluster membership: whenever a crash, leave or rejoin
+// boundary of the configured FailureSchedule passes, the engine calls
+// OnMembership with the current membership vector before processing the
+// first event at or after the boundary. alive is only valid during the
+// call — behaviors keep their own copy. Hangs and link blackouts are NOT
+// membership events: a frozen process is indistinguishable from a slow
+// link, so behaviors learn about those only through failed pulls and
+// inflated iteration times.
+type MembershipAware interface {
+	OnMembership(alive []bool, now float64)
+}
+
 // PartialTransferrer is an optional AsyncBehavior refinement for methods
 // that send only part of the model per pull (DLion-style capacity-scaled
 // partitions): TransferBytes maps the full model size to the bytes actually
@@ -63,6 +77,15 @@ type PartialTransferrer interface {
 // blending) is recomputed serially on the same batch. The schedule, the
 // peer draws and every floating-point reduction therefore happen exactly as
 // in the serial loop, keeping results bitwise identical at any Parallelism.
+//
+// When cfg.Failures carries events, the loop injects them: unresponsive
+// workers' events are parked until rejoin (iterations in flight across a
+// down interval are discarded), pulls at unresponsive peers or blacked-out
+// links fail after the schedule's detection deadline without moving bytes,
+// and crash/leave/rejoin boundaries are delivered to MembershipAware
+// behaviors before the first event at or past the boundary. A nil or empty
+// schedule takes none of these paths and reproduces the failure-free
+// trajectory bitwise.
 func RunAsync(cfg *Config, b AsyncBehavior, algo string) *Result {
 	ws := cfg.Workers()
 	tr := NewTracker(cfg, ws, algo)
@@ -111,6 +134,48 @@ func RunAsync(cfg *Config, b AsyncBehavior, algo string) *Result {
 	}
 	snapshot := make([]float64, ws[0].Model.VectorLen())
 
+	// Churn state. An empty schedule is normalized to nil so the
+	// failure-free path is literally the historical one — the bitwise
+	// determinism gate compares the two.
+	fs := cfg.Failures
+	if fs.Empty() {
+		fs = nil
+	}
+	var started []float64 // virtual start time of each worker's in-flight iteration
+	var alive []bool      // scratch membership vector
+	var membAware MembershipAware
+	// nextMemb is the earliest unannounced membership boundary: an O(1)
+	// comparison per event pop instead of a schedule scan.
+	nextMemb, haveMemb := 0.0, false
+	if fs != nil {
+		started = make([]float64, len(ws))
+		alive = make([]bool, len(ws))
+		membAware, _ = b.(MembershipAware)
+		nextMemb, haveMemb = fs.NextTransition(math.Inf(-1))
+	}
+	// admit decides whether worker id's completion event at time now runs
+	// an iteration: a currently unresponsive worker is parked until its
+	// rejoin (its in-flight iteration died with it), and a worker that
+	// crashed and already rejoined mid-flight restarts fresh — the
+	// interrupted iteration's accounting is discarded either way.
+	admit := func(id int, now float64) bool {
+		if fs == nil {
+			return true
+		}
+		if fs.Unresponsive(id, now) {
+			pend[id] = pending{}
+			if up, ok := fs.NextUp(id, now); ok {
+				q.Push(up, id)
+				started[id] = up
+			}
+			return false
+		}
+		if fs.Interrupted(id, started[id], now) {
+			pend[id] = pending{}
+		}
+		return true
+	}
+
 	// batch holds the events drained for one timestamp; job keeps the
 	// pre-fetched training batch so a conflicting gradient can be redone on
 	// identical data.
@@ -127,7 +192,20 @@ func RunAsync(cfg *Config, b AsyncBehavior, algo string) *Result {
 events:
 	for !tr.Done() && q.Len() > 0 {
 		now, first := q.Pop()
-		batch = append(batch[:0], job{id: first})
+		// Membership boundaries (crash, leave, rejoin) that passed since
+		// the previous event are announced before anything at this
+		// timestamp runs, so behaviors stop selecting dead peers at once.
+		if fs != nil && haveMemb && now >= nextMemb {
+			fs.AliveInto(alive, now)
+			if membAware != nil {
+				membAware.OnMembership(alive, now)
+			}
+			nextMemb, haveMemb = fs.NextTransition(now)
+		}
+		batch = batch[:0]
+		if admit(first, now) {
+			batch = append(batch, job{id: first})
+		}
 		if par > 1 {
 			for {
 				t, ok := q.PeekTime()
@@ -135,8 +213,13 @@ events:
 					break
 				}
 				_, id := q.Pop()
-				batch = append(batch, job{id: id})
+				if admit(id, now) {
+					batch = append(batch, job{id: id})
+				}
 			}
+		}
+		if len(batch) == 0 {
+			continue // every event at this timestamp hit a down worker
 		}
 		prefetched := len(batch) > 1
 		if prefetched {
@@ -165,6 +248,13 @@ events:
 			b.Tick(now)
 			w := ws[i]
 			j := b.SelectPeer(i, now, w.Rng)
+			// A pull at an unresponsive peer or over a blacked-out link
+			// fails: nothing is blended or transferred, and the worker
+			// loses the schedule's detection deadline waiting it out. The
+			// failed attempt still feeds OnIterationEnd, so adaptive
+			// behaviors see the link's iteration time inflate and route
+			// away — exactly how a hang is survivable at all.
+			pullFailed := fs != nil && j != i && fs.PullFails(i, j, now)
 			var samples int
 			if prefetched {
 				if dirty[i] {
@@ -179,7 +269,7 @@ events:
 			} else {
 				_, samples = w.GradStep() // first update (local gradients)
 			}
-			if j != i {
+			if j != i && !pullFailed {
 				ws[j].Model.CopyVector(snapshot) // pull x_j (freshest params)
 				compress(snapshot, w)
 				coef := b.BlendCoef(i, j)
@@ -204,18 +294,34 @@ events:
 			if pt, ok := b.(PartialTransferrer); ok {
 				moved = pt.TransferBytes(bytes)
 			}
-			if j != i {
-				tr.AddBytes(moved)
-			}
-			iterSecs := cfg.Net.IterationTime(i, j, moved, cfg.ComputeSecs(i), now, cfg.Overlap)
-			b.OnIterationEnd(i, j, iterSecs, now)
 			comp := cfg.ComputeSecs(i)
+			var iterSecs float64
+			if pullFailed {
+				// The local gradient step proceeds while the doomed pull
+				// waits out the detection deadline; no bytes move.
+				iterSecs = comp + fs.Detect()
+				if cfg.Overlap {
+					iterSecs = comp
+					if d := fs.Detect(); d > iterSecs {
+						iterSecs = d
+					}
+				}
+			} else {
+				if j != i {
+					tr.AddBytes(moved)
+				}
+				iterSecs = cfg.Net.IterationTime(i, j, moved, comp, now, cfg.Overlap)
+			}
+			b.OnIterationEnd(i, j, iterSecs, now)
 			commCost := iterSecs - comp
 			if commCost < 0 {
 				commCost = 0
 			}
 			pend[i] = pending{samples: samples, comp: comp, comm: commCost}
 			q.Push(now+iterSecs, i)
+			if fs != nil {
+				started[i] = now
+			}
 		}
 	}
 	return tr.Finish()

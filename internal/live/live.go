@@ -8,7 +8,9 @@ package live
 
 import (
 	"context"
+	"errors"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,7 +45,36 @@ type Config struct {
 	// default raw float64 encoding). Sparse codecs turn pulls into partial
 	// model pulls: untransmitted coordinates keep the puller's local value.
 	Codec codec.Codec
+	// PullTimeout bounds every model pull and monitor exchange: a hung or
+	// dead peer costs at most one deadline instead of blocking the worker
+	// forever. Zero selects the 2s default; negative disables deadlines.
+	PullTimeout time.Duration
+	// StalePeriods configures the monitor's liveness tracking: a worker
+	// silent for this many Ts periods is evicted and policies regenerate
+	// over the live subgraph. Zero selects the default of 3; negative
+	// disables eviction.
+	StalePeriods int
+	// Churn schedules wall-clock crash/rejoin events for workers: the
+	// worker goes silent (and its transport endpoint refuses pulls) at At,
+	// and resumes at Rejoin with the parameters it held when it crashed.
+	Churn []ChurnEvent
 }
+
+// ChurnEvent is one scheduled live crash. Rejoin at or before At means the
+// worker leaves permanently.
+type ChurnEvent struct {
+	Worker int
+	At     time.Duration // since run start
+	Rejoin time.Duration // since run start; <= At means permanent
+}
+
+// DefaultPullTimeout is the conservative per-call deadline applied when
+// Config.PullTimeout is zero.
+const DefaultPullTimeout = 2 * time.Second
+
+// DefaultStalePeriods is the monitor liveness window (in Ts periods)
+// applied when Config.StalePeriods is zero.
+const DefaultStalePeriods = 3
 
 // Stats summarizes a live run.
 type Stats struct {
@@ -60,6 +91,9 @@ type Stats struct {
 	BytesOnWire int64
 	// Pulls counts completed cross-worker model pulls.
 	Pulls int64
+	// PeerDownErrors counts pulls that failed with transport.ErrPeerDown
+	// (dead or hung peers, expired deadlines).
+	PeerDownErrors int64
 	// Elapsed wall time.
 	Elapsed time.Duration
 }
@@ -78,6 +112,16 @@ type worker struct {
 	rho     float64
 	version int
 	ema     []float64
+
+	// masked marks peers whose pulls failed with ErrPeerDown; a masked
+	// peer is skipped in selection until the monitor reacts (a new policy
+	// version arrives) or a retry cooldown expires. Owned by the worker
+	// goroutine — no locking.
+	masked   []bool
+	maskedAt []time.Time
+
+	churn    []ChurnEvent // this worker's crash schedule, ascending by At
+	churnIdx int
 }
 
 func (w *worker) vector() []float64 {
@@ -95,6 +139,8 @@ type Hub interface {
 	Monitor() transport.MonitorClient
 	SetPolicy(p [][]float64, rho float64)
 	SetCodec(c codec.Codec)
+	SetPullTimeout(d time.Duration)
+	SetWorkerDown(id int, down bool)
 	OnReport(f func(from, to int, secs float64, bytes int64))
 }
 
@@ -114,13 +160,32 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 	if beta <= 0 || beta >= 1 {
 		beta = 0.5
 	}
+	pullTimeout := cfg.PullTimeout
+	if pullTimeout == 0 {
+		pullTimeout = DefaultPullTimeout
+	} else if pullTimeout < 0 {
+		pullTimeout = 0
+	}
+	stale := cfg.StalePeriods
+	if stale == 0 {
+		stale = DefaultStalePeriods
+	} else if stale < 0 {
+		stale = 0
+	}
+	// A masked peer is retried after the monitor has had a fair chance to
+	// react: the staleness window plus one period.
+	maskCooldown := ts * time.Duration(stale+1)
+	// Fallback rows for workers handed a dead-pinned policy row (below).
+	uniformRows := policy.Uniform(adj)
 
 	if cfg.Codec != nil {
 		hub.SetCodec(cfg.Codec)
 	}
-	mon := monitor.New(monitor.Config{Adj: adj, Alpha: cfg.LR, Period: ts.Seconds()})
+	hub.SetPullTimeout(pullTimeout)
+	start := time.Now()
+	mon := monitor.New(monitor.Config{Adj: adj, Alpha: cfg.LR, Period: ts.Seconds(), StalePeriods: stale})
 	hub.OnReport(func(from, to int, secs float64, bytes int64) {
-		mon.Observe(from, to, secs)
+		mon.ObserveAt(from, to, secs, time.Since(start).Seconds())
 		mon.ObserveBytes(from, to, bytes)
 	})
 
@@ -131,16 +196,24 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 			batch = cfg.Part.Shards[i].Len()
 		}
 		w := &worker{
-			id:    i,
-			model: cfg.Spec.Build(cfg.Seed, dim, classes),
-			opt:   nn.NewSGD(cfg.LR),
-			shard: cfg.Part.Shards[i],
-			batch: batch,
-			rng:   rand.New(rand.NewSource(cfg.Seed*1000 + int64(i))),
-			p:     policy.Uniform(adj),
-			rho:   1 / (8 * cfg.LR * float64(m-1)),
-			ema:   make([]float64, m),
+			id:       i,
+			model:    cfg.Spec.Build(cfg.Seed, dim, classes),
+			opt:      nn.NewSGD(cfg.LR),
+			shard:    cfg.Part.Shards[i],
+			batch:    batch,
+			rng:      rand.New(rand.NewSource(cfg.Seed*1000 + int64(i))),
+			p:        policy.Uniform(adj),
+			rho:      1 / (8 * cfg.LR * float64(m-1)),
+			ema:      make([]float64, m),
+			masked:   make([]bool, m),
+			maskedAt: make([]time.Time, m),
 		}
+		for _, ev := range cfg.Churn {
+			if ev.Worker == i {
+				w.churn = append(w.churn, ev)
+			}
+		}
+		sort.Slice(w.churn, func(a, b int) bool { return w.churn[a].At < w.churn[b].At })
 		workers[i] = w
 		hub.Register(i, w.vector)
 	}
@@ -155,7 +228,6 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 		defer cancel()
 	}
 
-	start := time.Now()
 	// Monitor loop: wall-clock periodic policy regeneration.
 	monDone := make(chan struct{})
 	go func() {
@@ -178,7 +250,7 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 	}()
 
 	counts := make([]int, m)
-	var wireBytes, pulls atomic.Int64
+	var wireBytes, pulls, peerDown atomic.Int64
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		wg.Add(1)
@@ -191,11 +263,63 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 					return
 				default:
 				}
-				// Adopt a newer policy if one was broadcast.
-				if p, rho, v, err := monClient.FetchPolicy(); err == nil && v > w.version && p != nil {
-					w.p, w.rho, w.version = p, rho, v
+				// Scheduled churn: crash (endpoint refuses pulls, no
+				// iterations, no reports) and rejoin with the parameters
+				// held at crash time. A permanent leave exits the loop.
+				for w.churnIdx < len(w.churn) && time.Since(start) >= w.churn[w.churnIdx].At {
+					ev := w.churn[w.churnIdx]
+					w.churnIdx++
+					hub.SetWorkerDown(w.id, true)
+					if ev.Rejoin <= ev.At {
+						return
+					}
+					if wait := ev.Rejoin - time.Since(start); wait > 0 {
+						select {
+						case <-runCtx.Done():
+							return
+						case <-time.After(wait):
+						}
+					}
+					hub.SetWorkerDown(w.id, false)
 				}
-				j := samplePeer(w.p[w.id], w.id, w.rng)
+				// Adopt a newer policy if one was broadcast. Masks reset
+				// only for peers the new policy assigns mass — the monitor
+				// believes those are usable. (A version generated just
+				// before a crash can still carry mass on the dead peer and
+				// cost one more deadline; the cooldown bounds that.) A
+				// masked peer the policy dropped stays masked, which is a
+				// no-op anyway since its row mass is zero.
+				if p, rho, v, err := monClient.FetchPolicy(); err == nil && v > w.version && p != nil {
+					// A policy generated while this worker was presumed
+					// dead pins its own row to self. A live worker must
+					// not adopt that row — selecting only self means never
+					// pulling, never reporting, and never being
+					// re-admitted — so it falls back to uniform selection
+					// until the monitor takes it back. The broadcast
+					// policy is shared between workers; replace the row on
+					// a private copy of the row table.
+					if policy.SelfOnly(p[w.id], w.id) {
+						np := make([][]float64, len(p))
+						copy(np, p)
+						np[w.id] = uniformRows[w.id]
+						p = np
+					}
+					w.p, w.rho, w.version = p, rho, v
+					for k := range w.masked {
+						if w.masked[k] && w.p[w.id][k] > 0 {
+							w.masked[k] = false
+						}
+					}
+				}
+				// Retry cooldown: without policy broadcasts (uniform mode)
+				// a mask would otherwise be permanent and a rejoining peer
+				// never re-admitted.
+				for k, mk := range w.masked {
+					if mk && time.Since(w.maskedAt[k]) > maskCooldown {
+						w.masked[k] = false
+					}
+				}
+				j := policy.SampleMasked(w.p[w.id], w.id, w.masked, w.rng)
 				iterStart := time.Now()
 				// Pull the neighbor's model concurrently with the local
 				// gradient step (Algorithm 2's overlap). The pull arrives
@@ -239,6 +363,23 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 						}
 						_ = monClient.ReportTime(w.id, j, w.ema[j], pulledBytes)
 					}
+				} else if j != w.id && pullErr != nil {
+					// Failed pull: mask the peer locally until the monitor
+					// reacts, and report the attempt's (deadline-inflated)
+					// cost so the link degrades in the policy input rather
+					// than keeping its last attractive time.
+					if errors.Is(pullErr, transport.ErrPeerDown) {
+						w.masked[j] = true
+						w.maskedAt[j] = time.Now()
+						peerDown.Add(1)
+					}
+					secs := time.Since(iterStart).Seconds()
+					if w.ema[j] == 0 {
+						w.ema[j] = secs
+					} else {
+						w.ema[j] = beta*w.ema[j] + (1-beta)*secs
+					}
+					_ = monClient.ReportTime(w.id, j, w.ema[j], 0)
 				}
 				counts[w.id]++ // safe: one writer per index
 			}
@@ -271,6 +412,7 @@ func Run(ctx context.Context, cfg Config, hub Hub) *Stats {
 		PolicyVersions:      version,
 		BytesOnWire:         wireBytes.Load(),
 		Pulls:               pulls.Load(),
+		PeerDownErrors:      peerDown.Load(),
 		Elapsed:             time.Since(start),
 	}
 }
@@ -295,18 +437,6 @@ func (w *worker) blendCoef(alpha float64, j int) float64 {
 		c = 1
 	}
 	return c
-}
-
-func samplePeer(row []float64, self int, rng *rand.Rand) int {
-	r := rng.Float64()
-	acc := 0.0
-	for j, pj := range row {
-		acc += pj
-		if r < acc {
-			return j
-		}
-	}
-	return self
 }
 
 func fullAdj(m int) [][]bool {

@@ -11,6 +11,80 @@ import (
 	"netmax/internal/transport"
 )
 
+// TestLiveGroupSurvivesCrashRejoin injects a crash + rejoin through the
+// churn schedule: the run must finish, record peer-down pulls (the failed
+// neighbor was masked, not fatal), and still produce a finite consensus
+// model with everyone else iterating.
+func TestLiveGroupSurvivesCrashRejoin(t *testing.T) {
+	hub := transport.NewLocalNet()
+	// Slow iterations down to ~1ms so the wall-clock churn window overlaps
+	// a substantial stretch of the run.
+	hub.Latency = func(i, j int, _ time.Time) time.Duration { return time.Millisecond }
+	cfg := liveConfig(4, 200)
+	cfg.Ts = 40 * time.Millisecond
+	cfg.StalePeriods = 2
+	cfg.PullTimeout = 200 * time.Millisecond
+	cfg.Churn = []ChurnEvent{{Worker: 2, At: 30 * time.Millisecond, Rejoin: 150 * time.Millisecond}}
+	stats := Run(context.Background(), cfg, hub)
+	if stats.PeerDownErrors == 0 {
+		t.Fatal("crash produced no ErrPeerDown pulls")
+	}
+	for i, c := range stats.IterationsPerWorker {
+		if i != 2 && c != 200 {
+			t.Fatalf("surviving worker %d did %d iterations, want 200", i, c)
+		}
+	}
+	if stats.IterationsPerWorker[2] == 0 {
+		t.Fatal("rejoining worker never iterated")
+	}
+	if !(stats.FinalLoss > 0) || stats.FinalAccuracy <= 0 {
+		t.Fatalf("consensus model degenerate after churn: loss=%v acc=%v", stats.FinalLoss, stats.FinalAccuracy)
+	}
+}
+
+// TestLiveGroupPermanentLeave verifies a worker that leaves for good: the
+// survivors finish their iterations and the run terminates.
+func TestLiveGroupPermanentLeave(t *testing.T) {
+	hub := transport.NewLocalNet()
+	hub.Latency = func(i, j int, _ time.Time) time.Duration { return time.Millisecond }
+	cfg := liveConfig(3, 120)
+	cfg.PullTimeout = 200 * time.Millisecond
+	cfg.Churn = []ChurnEvent{{Worker: 1, At: 20 * time.Millisecond, Rejoin: 0}} // Rejoin <= At: leave
+	done := make(chan *Stats, 1)
+	go func() { done <- Run(context.Background(), cfg, hub) }()
+	select {
+	case stats := <-done:
+		if stats.IterationsPerWorker[0] != 120 || stats.IterationsPerWorker[2] != 120 {
+			t.Fatalf("survivors did not finish: %v", stats.IterationsPerWorker)
+		}
+		if stats.IterationsPerWorker[1] == 120 {
+			t.Fatal("leaver completed every iteration; churn never fired")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run with a permanent leaver did not terminate")
+	}
+}
+
+// TestLiveGroupCrashOverTCP drives the crash path over real sockets: the
+// down endpoint drops connections, peers classify ErrPeerDown and finish.
+func TestLiveGroupCrashOverTCP(t *testing.T) {
+	hub, err := transport.NewTCPHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	cfg := liveConfig(3, 200)
+	cfg.PullTimeout = 300 * time.Millisecond
+	cfg.Churn = []ChurnEvent{{Worker: 0, At: 20 * time.Millisecond, Rejoin: 200 * time.Millisecond}}
+	stats := Run(context.Background(), cfg, hub)
+	if stats.IterationsPerWorker[1] != 200 || stats.IterationsPerWorker[2] != 200 {
+		t.Fatalf("survivors did not finish over TCP: %v", stats.IterationsPerWorker)
+	}
+	if stats.PeerDownErrors == 0 {
+		t.Fatal("TCP crash produced no ErrPeerDown pulls")
+	}
+}
+
 func liveConfig(workers, iters int) Config {
 	train, test := data.SynthMNIST.Generate(1)
 	return Config{

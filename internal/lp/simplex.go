@@ -35,6 +35,13 @@ var ErrInfeasible = errors.New("lp: infeasible")
 // ErrUnbounded is returned when the objective is unbounded below.
 var ErrUnbounded = errors.New("lp: unbounded")
 
+// eps is the pivot/optimality tolerance of the simplex iterations. It is
+// applied to an equilibrated tableau: Solve rescales every constraint row
+// (and the objective) to unit max-magnitude before iterating, so the
+// absolute comparison is effectively relative to each row's scale. Without
+// that, rows whose coefficients sit far below eps — e.g. iteration times
+// recorded in microseconds — had every pivot candidate rejected and were
+// silently dropped from the solution.
 const eps = 1e-9
 
 // Solve returns an optimal x and the objective value cᵀx.
@@ -100,9 +107,46 @@ func Solve(p *Problem) ([]float64, float64, error) {
 			b[i] = -b[i]
 		}
 	}
+	// Row equilibration: divide each row's original-variable coefficients
+	// (and its rhs) by their largest magnitude, so the simplex tolerances
+	// act relative to every row's scale. Positive row scaling preserves
+	// the feasible set and the optimal vertex exactly. Slack columns are
+	// deliberately left at ±1: dividing them too would shrink a large-
+	// scale inequality row's slack coefficient below the pivot tolerance,
+	// locking the slack out of the basis and silently forcing the
+	// constraint binding. Leaving the coefficient alone just rescales the
+	// slack variable (slack' = slack/s ≥ 0), which is equally exact.
+	for i := range a {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			if v := math.Abs(a[i][j]); v > s {
+				s = v
+			}
+		}
+		if s > 0 && s != 1 {
+			for j := 0; j < n; j++ {
+				a[i][j] /= s
+			}
+			b[i] /= s
+		}
+	}
 
 	c := make([]float64, cols)
 	copy(c, p.C)
+	// Objective normalization: argmin is invariant under positive scaling,
+	// and a unit-magnitude objective keeps the reduced-cost tolerance
+	// meaningful for costs recorded at extreme scales.
+	cs := 0.0
+	for _, v := range c {
+		if m := math.Abs(v); m > cs {
+			cs = m
+		}
+	}
+	if cs > 0 && cs != 1 {
+		for j := range c {
+			c[j] /= cs
+		}
+	}
 
 	y, err := twoPhase(a, b, c)
 	if err != nil {

@@ -165,6 +165,71 @@ func TestPolicyRowShapeLP(t *testing.T) {
 	}
 }
 
+// TestScaleInvariance is the regression test for the scale-relative pivot
+// tolerance: the policy-row LP solved with iteration times expressed at
+// wildly different unit scales (seconds, microseconds-and-below, hours-and-
+// above) must return the same probabilities. Before row equilibration, the
+// absolute eps rejected every pivot in rows scaled below ~1e-10 and the
+// solver silently returned a point violating the time-budget equality.
+func TestScaleInvariance(t *testing.T) {
+	tm := []float64{1, 2, 10}
+	solve := func(s float64) []float64 {
+		t.Helper()
+		floor := 0.05
+		p := &Problem{
+			C:     []float64{0, 0, 0, 1}, // minimize p_self
+			Aeq:   [][]float64{{tm[0] * s, tm[1] * s, tm[2] * s, 0}, {1, 1, 1, 1}},
+			Beq:   []float64{1.5 * s, 1},
+			Lower: []float64{floor, floor, floor, 0},
+		}
+		x, _, err := Solve(p)
+		if err != nil {
+			t.Fatalf("scale %g: %v", s, err)
+		}
+		sum := x[0] + x[1] + x[2] + x[3]
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("scale %g: probabilities sum to %v", s, sum)
+		}
+		dot := tm[0]*x[0] + tm[1]*x[1] + tm[2]*x[2]
+		if math.Abs(dot-1.5) > 1e-6 {
+			t.Fatalf("scale %g: time budget %v, want 1.5 (x=%v)", s, dot, x)
+		}
+		return x
+	}
+	ref := solve(1)
+	for _, s := range []float64{1e-6, 1e-10, 1e-12, 1e6, 1e12} {
+		x := solve(s)
+		for i := range ref {
+			if math.Abs(x[i]-ref[i]) > 1e-6 {
+				t.Fatalf("scale %g: x = %v, want %v", s, x, ref)
+			}
+		}
+	}
+}
+
+// TestScaleInvarianceInequality pins the slack-column handling: row
+// equilibration must not divide the slack coefficient, or a large-scale
+// inequality's slack falls below the pivot tolerance and the non-binding
+// constraint is silently forced binding (min x s.t. 1e12·x <= 1e13,
+// x >= 1 returned x=10 instead of 1).
+func TestScaleInvarianceInequality(t *testing.T) {
+	for _, s := range []float64{1, 1e-12, 1e12} {
+		p := &Problem{
+			C:     []float64{1},
+			Aub:   [][]float64{{s}},
+			Bub:   []float64{10 * s},
+			Lower: []float64{1},
+		}
+		x, _, err := Solve(p)
+		if err != nil {
+			t.Fatalf("scale %g: %v", s, err)
+		}
+		if math.Abs(x[0]-1) > 1e-6 {
+			t.Fatalf("scale %g: x = %v, want 1 (inequality wrongly binding)", s, x)
+		}
+	}
+}
+
 func TestRandomFeasibilityProperty(t *testing.T) {
 	// Property: on random feasible problems, the solution satisfies all
 	// constraints within tolerance.

@@ -31,6 +31,13 @@ type Config struct {
 	// AveragingBlend selects the Section III-D extension mode (fixed 1/2
 	// averaging weight) when generating policies.
 	AveragingBlend bool
+	// StalePeriods enables liveness tracking: a worker whose last
+	// timestamped report (ObserveAt) is older than StalePeriods*Period is
+	// evicted — its EMA row is cleared and policies are regenerated over
+	// the live subgraph only, so the policy stops routing pulls at a
+	// corpse whose last (attractive) iteration time would otherwise live
+	// forever. Zero disables eviction (the historical behavior).
+	StalePeriods int
 }
 
 // Monitor tracks link statistics and regenerates communication policies.
@@ -45,8 +52,16 @@ type Monitor struct {
 	payload    [][]int64 // latest reported encoded transfer size per link
 	totalBytes int64     // cumulative reported bytes-on-wire
 
+	clock        float64   // latest time seen (ObserveAt/MaybeRegenerate)
+	lastReport   []float64 // per-worker time of the last timestamped report
+	everReported []bool    // per-worker: any report ever (coverage gate)
+	membAlive    []bool    // membership-event liveness (SetLiveness); nil = all
+	lastAlive    []bool    // liveness set of the last successful regeneration
+
 	// Regenerations counts successful policy computations (observability).
 	Regenerations int
+	// Evictions counts workers evicted for staleness (observability).
+	Evictions int
 }
 
 // New creates a Monitor. Period must be positive.
@@ -61,7 +76,12 @@ func New(cfg Config) *Monitor {
 		ema[i] = make([]float64, m)
 		payload[i] = make([]int64, m)
 	}
-	return &Monitor{cfg: cfg, m: m, ema: ema, payload: payload}
+	lastAlive := make([]bool, m)
+	for i := range lastAlive {
+		lastAlive[i] = true
+	}
+	return &Monitor{cfg: cfg, m: m, ema: ema, payload: payload,
+		lastReport: make([]float64, m), everReported: make([]bool, m), lastAlive: lastAlive}
 }
 
 // Observe ingests one measured iteration time for link (i, j). In the
@@ -69,6 +89,16 @@ func New(cfg Config) *Monitor {
 // the simulator workers report as they finish iterations. The worker-side
 // EMA has already been applied, so the monitor just stores the latest value.
 func (mo *Monitor) Observe(i, j int, iterSecs float64) {
+	mo.mu.Lock()
+	now := mo.clock
+	mo.mu.Unlock()
+	mo.ObserveAt(i, j, iterSecs, now)
+}
+
+// ObserveAt is Observe with the (virtual or wall) time of the report. The
+// timestamp feeds liveness tracking: a worker whose reports stop arriving
+// is evicted from policy generation after StalePeriods periods.
+func (mo *Monitor) ObserveAt(i, j int, iterSecs, now float64) {
 	// Reports arrive over the wire: reject out-of-range indices and
 	// non-finite or non-positive times, either of which would poison the
 	// EMA matrix and every policy generated from it. (NaN fails the > 0
@@ -78,7 +108,72 @@ func (mo *Monitor) Observe(i, j int, iterSecs float64) {
 	}
 	mo.mu.Lock()
 	mo.ema[i][j] = iterSecs
+	mo.everReported[i] = true
+	if now > mo.lastReport[i] {
+		mo.lastReport[i] = now
+	}
+	if now > mo.clock {
+		mo.clock = now
+	}
 	mo.mu.Unlock()
+}
+
+// SetLiveness feeds membership knowledge from a faster detector — the
+// engine's membership events, or a deployment's failure detector — into
+// the monitor: workers marked false are excluded from policy generation
+// immediately, without waiting for their reports to go stale. A liveness
+// change forces the next MaybeRegenerate regardless of the period gate, so
+// the row LPs are re-solved on every membership change.
+func (mo *Monitor) SetLiveness(alive []bool, now float64) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if mo.membAlive == nil {
+		mo.membAlive = make([]bool, mo.m)
+		for i := range mo.membAlive {
+			mo.membAlive[i] = true
+		}
+	}
+	for i := 0; i < mo.m && i < len(alive); i++ {
+		mo.membAlive[i] = alive[i]
+		if alive[i] && now > mo.lastReport[i] {
+			// A re-admitted worker gets a fresh staleness grace period; its
+			// old lastReport would otherwise evict it again instantly.
+			mo.lastReport[i] = now
+		}
+	}
+	if now > mo.clock {
+		mo.clock = now
+	}
+}
+
+// aliveAt reports the combined liveness of worker i at time now: live
+// unless a membership event marked it down or (with StalePeriods > 0) its
+// reports have gone stale. Callers hold mo.mu.
+func (mo *Monitor) aliveAt(i int, now float64) bool {
+	if mo.membAlive != nil && !mo.membAlive[i] {
+		return false
+	}
+	if mo.cfg.StalePeriods > 0 && now-mo.lastReport[i] > float64(mo.cfg.StalePeriods)*mo.cfg.Period {
+		return false
+	}
+	return true
+}
+
+// liveness materializes the combined liveness vector. Callers hold mo.mu.
+func (mo *Monitor) liveness(now float64) []bool {
+	alive := make([]bool, mo.m)
+	for i := range alive {
+		alive[i] = mo.aliveAt(i, now)
+	}
+	return alive
+}
+
+// LiveWorkers returns the combined liveness vector at time now
+// (observability, tests).
+func (mo *Monitor) LiveWorkers(now float64) []bool {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.liveness(now)
 }
 
 // validLink bounds-checks worker indices: reports arrive over the wire, so
@@ -150,21 +245,18 @@ func (mo *Monitor) Times() [][]float64 {
 	return out
 }
 
-// coverage reports whether every worker has reported at least one link
+// coverage reports whether every live worker has EVER reported a link
 // time, so that the first regeneration does not act on a single skewed
-// sample.
-func (mo *Monitor) coverage() bool {
-	mo.mu.Lock()
-	defer mo.mu.Unlock()
-	for i := range mo.ema {
-		seen := false
-		for j := range mo.ema[i] {
-			if mo.ema[i][j] > 0 {
-				seen = true
-				break
-			}
-		}
-		if !seen {
+// sample. Dead workers cannot report and must not block the live group's
+// policy. The check deliberately uses the ever-reported flag rather than
+// the current EMA row: eviction clears a worker's row, and a re-admitted
+// worker whose fresh reports have not arrived yet must not freeze policy
+// regeneration for the whole cluster — its cleared row is gap-filled
+// pessimistically by Times until real measurements rebuild it. Callers
+// hold mo.mu.
+func (mo *Monitor) coverage(alive []bool) bool {
+	for i, ok := range mo.everReported {
+		if alive[i] && !ok {
 			return false
 		}
 	}
@@ -173,15 +265,48 @@ func (mo *Monitor) coverage() bool {
 
 // MaybeRegenerate runs Algorithm 1's periodic body: if a full period has
 // elapsed since the last run (and any statistics exist), it recomputes the
-// policy and returns it with ok=true. Otherwise ok=false.
+// policy and returns it with ok=true. A membership change — a worker
+// evicted for staleness, marked down via SetLiveness, or re-admitted —
+// bypasses the period gate so the row LPs are re-solved immediately over
+// the live subgraph. Otherwise ok=false.
 func (mo *Monitor) MaybeRegenerate(now float64) (*policy.Policy, bool) {
 	mo.mu.Lock()
-	due := !mo.ran || now-mo.last >= mo.cfg.Period
-	mo.mu.Unlock()
-	if !due || !mo.coverage() {
+	if now > mo.clock {
+		mo.clock = now
+	}
+	// Allocation-free fast path: Tick calls this on every event, so the
+	// liveness vector is only materialized once a regeneration is due.
+	changed := false
+	for i := 0; i < mo.m; i++ {
+		if mo.aliveAt(i, now) != mo.lastAlive[i] {
+			changed = true
+			break
+		}
+	}
+	if !(!mo.ran || now-mo.last >= mo.cfg.Period || changed) {
+		mo.mu.Unlock()
 		return nil, false
 	}
-	pol, err := policy.Generate(policy.Input{
+	alive := mo.liveness(now)
+	if !mo.coverage(alive) {
+		mo.mu.Unlock()
+		return nil, false
+	}
+	// Stale-row eviction: a newly dead worker's own measurements are
+	// meaningless after it returns, so its EMA row is cleared; fresh
+	// reports rebuild it on re-admission (gap-filled pessimistically by
+	// Times until then).
+	for i, ok := range alive {
+		if !ok && mo.lastAlive[i] {
+			for j := range mo.ema[i] {
+				mo.ema[i][j] = 0
+			}
+			mo.Evictions++
+		}
+	}
+	mo.mu.Unlock()
+
+	pol, err := policy.GenerateLive(policy.Input{
 		Times:          mo.Times(),
 		Adj:            mo.cfg.Adj,
 		Alpha:          mo.cfg.Alpha,
@@ -189,16 +314,17 @@ func (mo *Monitor) MaybeRegenerate(now float64) (*policy.Policy, bool) {
 		InnerRounds:    mo.cfg.InnerRounds,
 		Epsilon:        mo.cfg.Epsilon,
 		AveragingBlend: mo.cfg.AveragingBlend,
-	})
+	}, alive)
 	mo.mu.Lock()
 	mo.last = now
 	mo.ran = true
+	mo.lastAlive = alive
+	if err == nil {
+		mo.Regenerations++
+	}
 	mo.mu.Unlock()
 	if err != nil {
 		return nil, false
 	}
-	mo.mu.Lock()
-	mo.Regenerations++
-	mo.mu.Unlock()
 	return pol, true
 }

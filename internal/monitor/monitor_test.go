@@ -149,6 +149,138 @@ func TestObserveRejectsOutOfRangeIndices(t *testing.T) {
 	}
 }
 
+// fullTimesAt reports every link at a given timestamp so liveness tracking
+// sees fresh rows.
+func fullTimesAt(mo *Monitor, m int, v, now float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				mo.ObserveAt(i, j, v, now)
+			}
+		}
+	}
+}
+
+// TestStaleRowEviction is the regression test for the corpse-routing bug: a
+// worker that stops reporting kept its last (attractive) EMA row forever
+// and the policy kept routing pulls at it. With StalePeriods set, the row
+// is evicted and regenerated policies stop selecting the dead worker.
+func TestStaleRowEviction(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(4), Alpha: 0.1, Period: 10, StalePeriods: 2})
+	fullTimesAt(mo, 4, 1.0, 0)
+	// Worker 3 has the fastest links of all — the attractive corpse.
+	mo.ObserveAt(3, 0, 0.1, 0)
+	pol1, ok := mo.MaybeRegenerate(0)
+	if !ok {
+		t.Fatal("first regeneration failed")
+	}
+	if pol1.P[0][3] == 0 {
+		t.Fatal("live worker 3 should receive pulls before failing")
+	}
+	// Everyone but worker 3 keeps reporting for three periods.
+	for _, now := range []float64{10, 20, 30} {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				if i != j {
+					mo.ObserveAt(i, j, 1.0, now)
+				}
+			}
+		}
+		mo.MaybeRegenerate(now)
+	}
+	alive := mo.LiveWorkers(30)
+	if alive[3] {
+		t.Fatal("worker 3 silent for 3 periods (k=2) but still considered live")
+	}
+	if alive[0] != true || alive[1] != true || alive[2] != true {
+		t.Fatalf("reporting workers evicted: %v", alive)
+	}
+	pol2, ok := mo.MaybeRegenerate(31)
+	if !ok {
+		// The eviction regeneration may already have happened at t=30.
+		pol2, ok = mo.MaybeRegenerate(40)
+		if !ok {
+			t.Fatal("no regeneration after eviction")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if pol2.P[i][3] != 0 {
+			t.Fatalf("policy still routes worker %d at the dead worker: %v", i, pol2.P[i])
+		}
+	}
+	if pol2.P[3][3] != 1 {
+		t.Fatalf("dead row not pinned to self: %v", pol2.P[3])
+	}
+	if mo.Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+	// Worker 3 resumes reporting: re-admitted on the next regeneration.
+	for j := 0; j < 4; j++ {
+		if j != 3 {
+			mo.ObserveAt(3, j, 1.0, 41)
+		}
+	}
+	pol3, ok := mo.MaybeRegenerate(41)
+	if !ok {
+		t.Fatal("membership change (re-admission) did not force regeneration")
+	}
+	if pol3.P[0][3] == 0 {
+		t.Fatalf("re-admitted worker receives no pulls: %v", pol3.P[0])
+	}
+}
+
+// TestStaleEvictionDisabledByDefault pins the historical behavior: with
+// StalePeriods zero, silent workers are never evicted.
+func TestStaleEvictionDisabledByDefault(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(3), Alpha: 0.1, Period: 10})
+	fullTimesAt(mo, 3, 1.0, 0)
+	if _, ok := mo.MaybeRegenerate(0); !ok {
+		t.Fatal("first regeneration failed")
+	}
+	alive := mo.LiveWorkers(1e9)
+	for i, a := range alive {
+		if !a {
+			t.Fatalf("worker %d evicted with StalePeriods=0", i)
+		}
+	}
+}
+
+// TestSetLivenessForcesRegeneration verifies the fast membership path: a
+// SetLiveness change re-solves the row LPs immediately, bypassing the
+// period gate, and re-admission restores routing.
+func TestSetLivenessForcesRegeneration(t *testing.T) {
+	mo := New(Config{Adj: simnet.FullyConnected(4), Alpha: 0.1, Period: 100})
+	fullTimesAt(mo, 4, 1.0, 0)
+	if _, ok := mo.MaybeRegenerate(0); !ok {
+		t.Fatal("first regeneration failed")
+	}
+	// Within the period: no regeneration without membership change.
+	if _, ok := mo.MaybeRegenerate(5); ok {
+		t.Fatal("regenerated inside the period without membership change")
+	}
+	mo.SetLiveness([]bool{true, false, true, true}, 6)
+	pol, ok := mo.MaybeRegenerate(6)
+	if !ok {
+		t.Fatal("membership change did not bypass the period gate")
+	}
+	if pol.P[0][1] != 0 || pol.P[2][1] != 0 || pol.P[1][1] != 1 {
+		t.Fatalf("policy still routes at the down worker: %v", pol.P)
+	}
+	// Re-admit: forced again, routing restored. No fresh report is needed
+	// first — coverage keys on ever-reported, and the evicted row is
+	// gap-filled pessimistically until new measurements arrive; requiring
+	// a report here would deadlock (the pinned-to-self policy row gives
+	// the rejoined worker nothing to report about).
+	mo.SetLiveness([]bool{true, true, true, true}, 7)
+	pol2, ok := mo.MaybeRegenerate(7)
+	if !ok {
+		t.Fatal("re-admission did not force regeneration")
+	}
+	if pol2.P[0][1] == 0 {
+		t.Fatalf("re-admitted worker receives no pulls: %v", pol2.P[0])
+	}
+}
+
 func TestObserveRejectsNonFiniteTimes(t *testing.T) {
 	mo := New(Config{Adj: simnet.FullyConnected(2), Alpha: 0.1, Period: 10})
 	mo.Observe(0, 1, math.NaN())

@@ -1,0 +1,162 @@
+package policy
+
+import "math/rand"
+
+// Sample draws one index from the probability row (row[j] is the
+// probability of selecting j; row[self] is the probability of selecting no
+// peer). It is the single peer-selection primitive shared by every
+// algorithm — NetMax, the uniform gossip baselines, Hop, and the live
+// runtime — and consumes exactly one rng.Float64 per call.
+//
+// Rows are normalized, but floating-point summation can leave the
+// cumulative total marginally below 1; the historical samplers fell
+// through to `self` in that gap, silently converting a sliver of every
+// row's mass into "skip communication" even when the policy assigned self
+// zero probability. The fall-through now lands on the last
+// positive-probability entry — the index the cumulative scan was
+// converging to as r → 1 — so a zero-probability self (or any
+// zero-probability non-neighbor) can never be returned. Self is returned
+// only when it carries mass or the row is entirely empty.
+func Sample(row []float64, self int, rng *rand.Rand) int {
+	return SampleMasked(row, self, nil, rng)
+}
+
+// SampleMasked is Sample with a worker-local liveness mask: masked indices
+// are treated as zero-probability and the remaining mass is renormalized,
+// so a freshly failed neighbor is skipped without waiting for the monitor
+// to regenerate the policy. A nil or all-false mask reproduces Sample's
+// arithmetic exactly, draw for draw — an all-false mask is detected and
+// routed through the nil path, since the renormalizing branch multiplies
+// r by the row's FP sum and would otherwise draw differently whenever
+// that sum is not exactly 1. The bitwise-determinism gate for failure-free
+// runs (where masks, once allocated, stay all-false after a full rejoin)
+// depends on this. Self is never masked.
+func SampleMasked(row []float64, self int, masked []bool, rng *rand.Rand) int {
+	r := rng.Float64()
+	if masked != nil {
+		any := false
+		for _, m := range masked {
+			if m {
+				any = true
+				break
+			}
+		}
+		if !any {
+			masked = nil
+		}
+	}
+	if masked == nil {
+		acc := 0.0
+		fallback := self
+		for j, pj := range row {
+			acc += pj
+			if r < acc {
+				return j
+			}
+			if pj > 0 {
+				fallback = j
+			}
+		}
+		return fallback
+	}
+	live := func(j int) bool { return j == self || !masked[j] }
+	total := 0.0
+	for j, pj := range row {
+		if live(j) {
+			total += pj
+		}
+	}
+	if total <= 0 {
+		return self
+	}
+	r *= total
+	acc := 0.0
+	fallback := self
+	for j, pj := range row {
+		if !live(j) {
+			continue
+		}
+		acc += pj
+		if r < acc {
+			return j
+		}
+		if pj > 0 {
+			fallback = j
+		}
+	}
+	return fallback
+}
+
+// SelfOnly reports whether a policy row assigns no mass to any peer: the
+// row GenerateLive pins onto workers presumed dead. A worker that is in
+// fact alive must not adopt such a row for itself — selecting only self
+// means never pulling, never reporting, and therefore never being
+// re-admitted by the monitor's liveness tracking. Callers detect the
+// condition with SelfOnly and fall back to uniform selection until the
+// monitor re-admits them.
+func SelfOnly(row []float64, self int) bool {
+	for j, v := range row {
+		if j != self && v > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateLive runs Algorithm 3 restricted to the live subgraph: rows and
+// columns of departed workers are removed before generation and the
+// resulting policy is embedded back into the full index space, with dead
+// rows pinned to self (a dead worker that somehow acts selects nobody) and
+// dead columns zeroed (no live worker routes a pull at a corpse). A nil or
+// all-true alive vector is exactly Generate. Fewer than two live workers
+// cannot form a policy and return ErrNoFeasiblePolicy.
+func GenerateLive(in Input, alive []bool) (*Policy, error) {
+	if alive == nil {
+		return Generate(in)
+	}
+	m := len(in.Times)
+	var idx []int
+	for i := 0; i < m && i < len(alive); i++ {
+		if alive[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == m {
+		return Generate(in)
+	}
+	if len(idx) < 2 {
+		return nil, ErrNoFeasiblePolicy
+	}
+	n := len(idx)
+	times := make([][]float64, n)
+	adj := make([][]bool, n)
+	for a, i := range idx {
+		times[a] = make([]float64, n)
+		adj[a] = make([]bool, n)
+		for b, j := range idx {
+			times[a][b] = in.Times[i][j]
+			adj[a][b] = in.Adj[i][j]
+		}
+	}
+	sub := in
+	sub.Times = times
+	sub.Adj = adj
+	pol, err := Generate(sub)
+	if err != nil {
+		return nil, err
+	}
+	full := make([][]float64, m)
+	for i := range full {
+		full[i] = make([]float64, m)
+		full[i][i] = 1 // dead rows: self only
+	}
+	for a, i := range idx {
+		full[i][i] = 0
+		for b, j := range idx {
+			full[i][j] = pol.P[a][b]
+		}
+	}
+	out := *pol
+	out.P = full
+	return &out, nil
+}

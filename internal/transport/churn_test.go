@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestTCPPeerDeadlineOnHungServer is the regression test for the
+// blocked-forever bug: a peer that accepts connections but never answers
+// (hung, not closed) must fail the pull with ErrPeerDown within the
+// configured deadline instead of blocking the worker indefinitely.
+func TestTCPPeerDeadlineOnHungServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Accept and go silent: read the request, answer nothing.
+			defer conn.Close()
+		}
+	}()
+	p := &TCPPeer{From: 0, Addr: ln.Addr().String(), Timeout: 300 * time.Millisecond}
+	start := time.Now()
+	_, err = p.PullModel()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("pull from hung server succeeded")
+	}
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("error not classified as ErrPeerDown: %v", err)
+	}
+	// A deadline expiry must NOT be retried (the peer is hung, not
+	// restarted): the total cost is one deadline, not two. The bound sits
+	// between 1x and 2x the deadline with slack for scheduling noise.
+	if elapsed >= 550*time.Millisecond {
+		t.Fatalf("pull blocked %v — a hung peer must cost one 300ms deadline, not two", elapsed)
+	}
+}
+
+// TestTCPPeerDownClassified verifies that a dead endpoint (nothing
+// listening) maps to ErrPeerDown.
+func TestTCPPeerDownClassified(t *testing.T) {
+	p := &TCPPeer{From: 0, Addr: "127.0.0.1:1", Timeout: 200 * time.Millisecond}
+	if _, err := p.PullModel(); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("dead endpoint error = %v, want ErrPeerDown", err)
+	}
+}
+
+// TestTCPWorkerServerSetDown verifies crash injection and recovery on the
+// server side: pulls fail fast while down, succeed again after recovery.
+func TestTCPWorkerServerSetDown(t *testing.T) {
+	srv, err := ServeWorker("127.0.0.1:0", func() []float64 { return []float64{1, 2} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := &TCPPeer{From: 0, Addr: srv.Addr(), Timeout: time.Second}
+	if _, err := p.PullModel(); err != nil {
+		t.Fatalf("pull before crash: %v", err)
+	}
+	srv.SetDown(true)
+	if _, err := p.PullModel(); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("pull from down server = %v, want ErrPeerDown", err)
+	}
+	srv.SetDown(false)
+	pulled, err := p.PullModel()
+	if err != nil {
+		t.Fatalf("pull after recovery: %v", err)
+	}
+	vec, err := pulled.Decode(nil)
+	if err != nil || len(vec) != 2 || vec[1] != 2 {
+		t.Fatalf("recovered pull decoded %v (%v)", vec, err)
+	}
+}
+
+// TestTCPHubWorkerDownAndTimeouts drives the same scenario through the hub
+// surface used by the live runtime.
+func TestTCPHubWorkerDownAndTimeouts(t *testing.T) {
+	hub, err := NewTCPHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	hub.Register(0, func() []float64 { return []float64{1} })
+	hub.Register(1, func() []float64 { return []float64{2} })
+	hub.SetPullTimeout(500 * time.Millisecond)
+	if _, err := hub.Peer(0, 1).PullModel(); err != nil {
+		t.Fatalf("pull before crash: %v", err)
+	}
+	hub.SetWorkerDown(1, true)
+	if _, err := hub.Peer(0, 1).PullModel(); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("pull from down worker = %v, want ErrPeerDown", err)
+	}
+	hub.SetWorkerDown(1, false)
+	if _, err := hub.Peer(0, 1).PullModel(); err != nil {
+		t.Fatalf("pull after recovery: %v", err)
+	}
+	hub.SetWorkerDown(7, true) // unknown id: no-op, no panic
+}
+
+// TestLocalNetWorkerDownAndHang verifies the in-process crash/hang
+// injection used by examples and the live tests.
+func TestLocalNetWorkerDownAndHang(t *testing.T) {
+	hub := NewLocalNet()
+	hub.Register(1, func() []float64 { return []float64{1} })
+	hub.SetWorkerDown(1, true)
+	if _, err := hub.Peer(0, 1).PullModel(); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("pull from down worker = %v, want ErrPeerDown", err)
+	}
+	hub.SetWorkerDown(1, false)
+	if _, err := hub.Peer(0, 1).PullModel(); err != nil {
+		t.Fatalf("pull after recovery: %v", err)
+	}
+	// Hung peer: latency beyond the deadline fails after the deadline.
+	hub.SetPullTimeout(50 * time.Millisecond)
+	hub.Latency = func(i, j int, _ time.Time) time.Duration { return time.Hour }
+	start := time.Now()
+	_, err := hub.Peer(0, 1).PullModel()
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("hung pull = %v, want ErrPeerDown", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hung pull blocked %v despite 50ms deadline", elapsed)
+	}
+	// Unregistered workers classify as down too.
+	if _, err := hub.Peer(0, 9).PullModel(); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("unknown peer = %v, want ErrPeerDown", err)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -83,6 +84,18 @@ func (g *listenerGroup) untrack(c net.Conn) {
 	g.mu.Unlock()
 }
 
+// dropConns force-closes every live connection without touching the
+// listener: existing peers see their exchanges fail as if the process
+// died, while new connections are still accepted (and can be rejected at
+// the protocol layer). Used for crash injection.
+func (g *listenerGroup) dropConns() {
+	g.mu.Lock()
+	for c := range g.conns {
+		c.Close()
+	}
+	g.mu.Unlock()
+}
+
 // close shuts the listener, force-closes every live connection (unblocking
 // handler reads), and waits for the accept loop and all handlers to return.
 func (g *listenerGroup) close() error {
@@ -113,6 +126,7 @@ type TCPWorkerServer struct {
 
 	codecMu sync.RWMutex
 	codec   codec.Codec
+	down    bool
 }
 
 // ServeWorker starts answering pulls on addr (e.g. "127.0.0.1:0") and
@@ -136,6 +150,20 @@ func (s *TCPWorkerServer) SetCodec(c codec.Codec) {
 	s.codecMu.Lock()
 	s.codec = c
 	s.codecMu.Unlock()
+}
+
+// SetDown injects a crash (or recovery) for this worker's endpoint: while
+// down, live connections are torn down and incoming pulls are dropped
+// without a response, so clients fail fast with ErrPeerDown. The listener
+// stays open — recovery is just SetDown(false), like a process restart on
+// the same port.
+func (s *TCPWorkerServer) SetDown(down bool) {
+	s.codecMu.Lock()
+	s.down = down
+	s.codecMu.Unlock()
+	if down {
+		s.grp.dropConns()
+	}
 }
 
 // Addr returns the listener's address.
@@ -164,7 +192,11 @@ func (s *TCPWorkerServer) handle(conn net.Conn) {
 		}
 		s.codecMu.RLock()
 		c := s.codec
+		down := s.down
 		s.codecMu.RUnlock()
+		if down {
+			return // crashed: drop the connection without answering
+		}
 		wbuf = appendPullResp(wbuf[:0], s.src(), c)
 		if err := writeFrame(w, msgPullResp, c.ID(), wbuf); err != nil {
 			return
@@ -178,27 +210,48 @@ func (s *TCPWorkerServer) handle(conn net.Conn) {
 // connection plus the frame request/response exchange with its retry
 // policy. Owners serialize access with their own mutex.
 type persistentConn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	rbuf []byte
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	rbuf  []byte
+	armed bool // a deadline is currently set on conn
 }
 
 // roundTrip sends one request frame to addr and reads the response. A dead
 // connection is redialed and the request retried once — but only when
 // retrying cannot duplicate a side effect: a non-idempotent request whose
 // write already succeeded (the failure was on the response read) may have
-// been processed by the server, so it is not re-sent. The returned body
-// aliases the connection's read buffer and is valid until the next call.
-func (pc *persistentConn) roundTrip(addr string, reqKind uint8, reqBody []byte, wantKind uint8, idempotent bool) ([]byte, uint8, error) {
+// been processed by the server, so it is not re-sent. A positive timeout
+// bounds every step — dial, write, response read — so a hung (not closed)
+// peer costs at most one deadline instead of blocking the caller forever.
+// The returned body aliases the connection's read buffer and is valid
+// until the next call.
+func (pc *persistentConn) roundTrip(addr string, timeout time.Duration, reqKind uint8, reqBody []byte, wantKind uint8, idempotent bool) ([]byte, uint8, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		if err := pc.ensure(addr); err != nil {
+		if err := pc.ensure(addr, timeout); err != nil {
 			return nil, 0, err
+		}
+		if timeout > 0 {
+			pc.conn.SetDeadline(time.Now().Add(timeout))
+			pc.armed = true
+		} else if pc.armed {
+			// The timeout was disabled after a deadline was armed on this
+			// connection; a stale expired deadline would fail a healthy
+			// peer.
+			pc.conn.SetDeadline(time.Time{})
+			pc.armed = false
 		}
 		if err := writeFrame(pc.w, reqKind, 0, reqBody); err != nil {
 			pc.drop()
 			lastErr = err
+			if isTimeout(err) {
+				// Deadline expired: the peer is hung, not restarted. A
+				// retry would redial the still-listening socket and wait
+				// out a second full deadline — doubling the documented
+				// one-deadline cost of a hung peer.
+				return nil, 0, fmt.Errorf("transport: %s: %w", addr, err)
+			}
 			continue
 		}
 		kind, codecID, body, err := readFrame(pc.r, &pc.rbuf)
@@ -208,22 +261,25 @@ func (pc *persistentConn) roundTrip(addr string, reqKind uint8, reqBody []byte, 
 			if !idempotent {
 				return nil, 0, fmt.Errorf("transport: %s: response lost after delivered request (not retried): %w", addr, err)
 			}
+			if isTimeout(err) {
+				return nil, 0, fmt.Errorf("transport: %s: %w", addr, err)
+			}
 			continue
 		}
 		if kind != wantKind {
 			pc.drop()
-			return nil, 0, fmt.Errorf("transport: unexpected frame kind %d, want %d", kind, wantKind)
+			return nil, 0, fmt.Errorf("%w: unexpected frame kind %d, want %d", errProtocol, kind, wantKind)
 		}
 		return body, codecID, nil
 	}
 	return nil, 0, fmt.Errorf("transport: %s: %w", addr, lastErr)
 }
 
-func (pc *persistentConn) ensure(addr string) error {
+func (pc *persistentConn) ensure(addr string, timeout time.Duration) error {
 	if pc.conn != nil {
 		return nil
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -233,12 +289,25 @@ func (pc *persistentConn) ensure(addr string) error {
 	return nil
 }
 
+// isTimeout reports whether err is (or wraps) a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// errProtocol marks wire-protocol violations (wrong frame kind, corrupt
+// payloads): evidence of version skew or a framing bug, not of a dead
+// peer. Pull failures carrying it must NOT classify as ErrPeerDown —
+// masking a healthy peer would turn a hard bug into silent degradation.
+var errProtocol = errors.New("transport: protocol violation")
+
 func (pc *persistentConn) drop() error {
 	if pc.conn == nil {
 		return nil
 	}
 	err := pc.conn.Close()
 	pc.conn, pc.r, pc.w = nil, nil, nil
+	pc.armed = false
 	return err
 }
 
@@ -247,25 +316,42 @@ func (pc *persistentConn) drop() error {
 // TCPPeer pulls models from a remote worker address over one persistent
 // connection, redialing transparently if the connection drops. The zero
 // value with Addr set is ready to use; it is safe for concurrent use.
+// A positive Timeout bounds every pull (dial + request + response): a
+// hung or dead peer then fails with an error wrapping ErrPeerDown instead
+// of blocking the worker forever.
 type TCPPeer struct {
-	From int
-	Addr string
+	From    int
+	Addr    string
+	Timeout time.Duration
 
 	mu   sync.Mutex
 	pc   persistentConn
 	wbuf []byte
 }
 
+// SetTimeout changes the per-call deadline for subsequent pulls.
+func (p *TCPPeer) SetTimeout(d time.Duration) {
+	p.mu.Lock()
+	p.Timeout = d
+	p.mu.Unlock()
+}
+
 // PullModel requests the peer's freshest parameter vector, returned
 // undecoded (the caller decodes at blend time with its current vector).
+// Transport-level failures — refused or dropped connections, deadline
+// expiry — classify as ErrPeerDown: the peer is gone or unresponsive, and
+// the caller should mask it until the monitor reacts.
 func (p *TCPPeer) PullModel() (*Pull, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.wbuf = appendPullReq(p.wbuf[:0], p.From)
 	// Pulls are read-only on the server, so lost responses retry safely.
-	body, codecID, err := p.pc.roundTrip(p.Addr, msgPull, p.wbuf, msgPullResp, true)
+	body, codecID, err := p.pc.roundTrip(p.Addr, p.Timeout, msgPull, p.wbuf, msgPullResp, true)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, errProtocol) {
+			return nil, err // version skew / framing bug — peer is not down
+		}
+		return nil, fmt.Errorf("%w: %w", ErrPeerDown, err)
 	}
 	dim, payload, err := parsePullRespHeader(body)
 	if err != nil {
@@ -381,13 +467,22 @@ func (s *TCPMonitorServer) handle(conn net.Conn) {
 
 // TCPMonitorClient is a worker's persistent-connection client to the
 // monitor. The zero value with Addr set is ready to use; it is safe for
-// concurrent use (calls serialize on one connection).
+// concurrent use (calls serialize on one connection). A positive Timeout
+// bounds each call the same way TCPPeer.Timeout bounds pulls.
 type TCPMonitorClient struct {
-	Addr string
+	Addr    string
+	Timeout time.Duration
 
 	mu   sync.Mutex
 	pc   persistentConn
 	wbuf []byte
+}
+
+// SetTimeout changes the per-call deadline for subsequent monitor calls.
+func (c *TCPMonitorClient) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.Timeout = d
+	c.mu.Unlock()
 }
 
 // ReportTime sends one iteration-time observation along with the encoded
@@ -399,7 +494,7 @@ func (c *TCPMonitorClient) ReportTime(from, to int, secs float64, bytes int64) e
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.wbuf = appendReport(c.wbuf[:0], from, to, secs, bytes)
-	body, _, err := c.pc.roundTrip(c.Addr, msgReport, c.wbuf, msgReportAck, false)
+	body, _, err := c.pc.roundTrip(c.Addr, c.Timeout, msgReport, c.wbuf, msgReportAck, false)
 	if err != nil {
 		return err
 	}
@@ -413,7 +508,7 @@ func (c *TCPMonitorClient) ReportTime(from, to int, secs float64, bytes int64) e
 func (c *TCPMonitorClient) FetchPolicy() ([][]float64, float64, int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	body, _, err := c.pc.roundTrip(c.Addr, msgPolicy, c.wbuf[:0], msgPolicyResp, true)
+	body, _, err := c.pc.roundTrip(c.Addr, c.Timeout, msgPolicy, c.wbuf[:0], msgPolicyResp, true)
 	if err != nil {
 		return nil, 0, 0, err
 	}

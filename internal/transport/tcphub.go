@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"netmax/internal/codec"
 )
@@ -14,14 +15,15 @@ import (
 // handles are cached, so every (from, to) pair reuses one persistent
 // connection for the life of the hub.
 type TCPHub struct {
-	mu      sync.RWMutex
-	workers map[int]*TCPWorkerServer
-	addrs   map[int]string
-	peers   map[[2]int]*TCPPeer
-	clients []*TCPMonitorClient
-	codec   codec.Codec
-	mon     *TCPMonitorServer
-	monAddr string
+	mu          sync.RWMutex
+	workers     map[int]*TCPWorkerServer
+	addrs       map[int]string
+	peers       map[[2]int]*TCPPeer
+	clients     []*TCPMonitorClient
+	codec       codec.Codec
+	pullTimeout time.Duration
+	mon         *TCPMonitorServer
+	monAddr     string
 
 	reportMu sync.RWMutex
 	report   func(from, to int, secs float64, bytes int64)
@@ -82,6 +84,33 @@ func (h *TCPHub) SetCodec(c codec.Codec) {
 	h.mu.Unlock()
 }
 
+// SetPullTimeout installs the per-call deadline on every cached peer and
+// monitor handle and on handles created afterwards. Zero disables
+// deadlines.
+func (h *TCPHub) SetPullTimeout(d time.Duration) {
+	h.mu.Lock()
+	h.pullTimeout = d
+	for _, p := range h.peers {
+		p.SetTimeout(d)
+	}
+	for _, c := range h.clients {
+		c.SetTimeout(d)
+	}
+	h.mu.Unlock()
+}
+
+// SetWorkerDown injects a crash (or recovery) for worker id's endpoint:
+// while down, its server tears down live connections and drops incoming
+// pulls, so peers fail fast with ErrPeerDown. Unknown ids are ignored.
+func (h *TCPHub) SetWorkerDown(id int, down bool) {
+	h.mu.RLock()
+	srv := h.workers[id]
+	h.mu.RUnlock()
+	if srv != nil {
+		srv.SetDown(down)
+	}
+}
+
 // Peer returns the persistent TCP pull handle from worker `from` to worker
 // `to`, creating it on first use. Before `to` registers, the returned
 // handle has no address (pulls fail) and is not cached, so a later call
@@ -100,7 +129,7 @@ func (h *TCPHub) Peer(from, to int) Peer {
 		return p
 	}
 	addr, registered := h.addrs[to]
-	p = &TCPPeer{From: from, Addr: addr}
+	p = &TCPPeer{From: from, Addr: addr, Timeout: h.pullTimeout}
 	if registered {
 		h.peers[key] = p
 	}
@@ -110,8 +139,8 @@ func (h *TCPHub) Peer(from, to int) Peer {
 // Monitor returns a worker-side monitor client on its own persistent
 // connection; the hub closes it on Close.
 func (h *TCPHub) Monitor() MonitorClient {
-	c := &TCPMonitorClient{Addr: h.monAddr}
 	h.mu.Lock()
+	c := &TCPMonitorClient{Addr: h.monAddr, Timeout: h.pullTimeout}
 	h.clients = append(h.clients, c)
 	h.mu.Unlock()
 	return c

@@ -14,12 +14,22 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"netmax/internal/codec"
 )
+
+// ErrPeerDown is the typed classification of a dead or unresponsive peer:
+// pull and monitor calls that fail because the remote end is gone
+// (connection refused, torn down mid-exchange) or silent past the
+// configured per-call deadline wrap this sentinel. Callers use
+// errors.Is(err, ErrPeerDown) to mask the peer locally until the Network
+// Monitor reacts, instead of treating the failure as fatal — churn is an
+// expected operating condition, not an exception.
+var ErrPeerDown = errors.New("transport: peer down")
 
 // ModelSource provides the current model vector of a worker; the transport
 // server calls it on every pull. Implementations must be safe for
@@ -96,8 +106,12 @@ type LocalNet struct {
 	mu      sync.RWMutex
 	sources map[int]ModelSource
 	codec   codec.Codec
+	down    map[int]bool
+	timeout time.Duration
 	// Latency returns the artificial one-way delay for a pull from j by i
-	// at wall time t. Nil means no delay.
+	// at wall time t. Nil means no delay. A latency at or beyond the pull
+	// timeout emulates a hung peer: the pull waits out the deadline and
+	// fails with ErrPeerDown.
 	Latency func(i, j int, t time.Time) time.Duration
 
 	policyMu sync.RWMutex
@@ -109,7 +123,30 @@ type LocalNet struct {
 
 // NewLocalNet creates an empty hub using the raw codec.
 func NewLocalNet() *LocalNet {
-	return &LocalNet{sources: make(map[int]ModelSource), codec: codec.Raw{}}
+	return &LocalNet{
+		sources: make(map[int]ModelSource),
+		codec:   codec.Raw{},
+		down:    make(map[int]bool),
+	}
+}
+
+// SetWorkerDown injects a crash (or recovery) for worker id: while down,
+// pulls from it fail immediately with ErrPeerDown — the in-process
+// equivalent of a connection refused.
+func (l *LocalNet) SetWorkerDown(id int, down bool) {
+	l.mu.Lock()
+	l.down[id] = down
+	l.mu.Unlock()
+}
+
+// SetPullTimeout installs the per-call pull deadline: a pull whose
+// injected latency reaches the deadline fails with ErrPeerDown after
+// waiting it out, emulating a hung (not closed) peer. Zero disables the
+// deadline.
+func (l *LocalNet) SetPullTimeout(d time.Duration) {
+	l.mu.Lock()
+	l.timeout = d
+	l.mu.Unlock()
 }
 
 // Register installs worker id's model source.
@@ -143,12 +180,24 @@ func (p *localPeer) PullModel() (*Pull, error) {
 	p.net.mu.RLock()
 	src, ok := p.net.sources[p.to]
 	c := p.net.codec
+	down := p.net.down[p.to]
+	timeout := p.net.timeout
 	p.net.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("transport: no worker %d registered", p.to)
+		return nil, fmt.Errorf("transport: no worker %d registered: %w", p.to, ErrPeerDown)
+	}
+	if down {
+		// Crashed process: the connection attempt is refused immediately.
+		return nil, fmt.Errorf("transport: worker %d: %w", p.to, ErrPeerDown)
 	}
 	if p.net.Latency != nil {
 		if d := p.net.Latency(p.from, p.to, time.Now()); d > 0 {
+			if timeout > 0 && d >= timeout {
+				// Hung peer: the pull blocks for the full deadline before
+				// the caller gives up.
+				time.Sleep(timeout)
+				return nil, fmt.Errorf("transport: pull from %d timed out after %v: %w", p.to, timeout, ErrPeerDown)
+			}
 			time.Sleep(d)
 		}
 	}

@@ -61,6 +61,19 @@ type Options = core.Options
 // convergence time).
 type Policy = policy.Policy
 
+// FailureSchedule is a deterministic schedule of churn events — crashes,
+// hangs, permanent leaves, link blackouts — injected into a simulated run
+// via Config.Failures. See internal/simnet.
+type FailureSchedule = simnet.FailureSchedule
+
+// NewFailureSchedule returns an empty churn schedule; chain Crash, Hang,
+// Leave and Blackout to populate it.
+var NewFailureSchedule = simnet.NewFailureSchedule
+
+// NewRandomChurn builds a deterministic random crash schedule (expected
+// crashes per worker over the horizon, mean downtime seconds).
+var NewRandomChurn = simnet.NewRandomChurn
+
 // Model specs mirroring the paper's models (parameter counts and compute
 // costs preserved; see internal/nn).
 var (
