@@ -8,12 +8,16 @@
 //	netmax-bench -all -quick
 //	netmax-bench -exp fig12 -curves
 //	netmax-bench -all -quick -par 1 -bench-out BENCH_baseline.json -bench-label baseline
+//	netmax-bench -scenario scenarios/cluster-resnet18-cifar10.json
 //
 // -par pins the host parallelism of the compute core (1 = the serial
 // baseline, 0 = one worker per CPU); results are bitwise identical at any
 // setting, only wall-clock changes. -bench-out records per-experiment
 // wall-clock seconds as JSON so successive PRs can track the perf
-// trajectory (see BENCH_baseline.json at the repo root).
+// trajectory (see BENCH_baseline.json at the repo root). -scenario runs a
+// declarative manifest (see internal/scenario and cmd/netmax-scenario)
+// instead of a registered experiment id, writing the resolved manifest
+// next to the results.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"netmax/internal/engine"
 	"netmax/internal/experiments"
+	"netmax/internal/scenario"
 	"netmax/internal/tensor"
 	"netmax/internal/trace"
 )
@@ -62,6 +67,8 @@ func main() {
 		curves   = flag.Bool("curves", false, "also print the raw figure series")
 		csvDir   = flag.String("csv", "", "directory to write per-experiment curve CSVs into")
 		par      = flag.Int("par", 0, "host parallelism: 0 = NumCPU, 1 = serial; results are identical either way")
+		scen     = flag.String("scenario", "", "scenario manifest to run instead of an experiment id (engine runtime)")
+		scenOut  = flag.String("scenario-out", "runs", "output directory for -scenario (resolved manifest + results); empty disables file output")
 		benchOut = flag.String("bench-out", "", "write per-experiment wall-clock seconds as JSON to this file")
 		benchLab = flag.String("bench-label", "run", "label stored in the -bench-out record")
 		benchCmp = flag.String("bench-compare", "", "baseline -bench-out JSON to compare the recorded timings against; exits 1 on regression")
@@ -79,6 +86,43 @@ func main() {
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if *scen != "" {
+		// The manifest is the single source of configuration: flags that
+		// would silently be ignored (the manifest's seed wins, bench
+		// records are not written) are rejected instead.
+		incompatible := map[string]bool{
+			"exp": true, "all": true, "seed": true, "curves": true, "csv": true,
+			"bench-out": true, "bench-label": true, "bench-compare": true, "bench-threshold": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if incompatible[f.Name] {
+				fmt.Fprintf(os.Stderr, "error: -%s does not apply to -scenario runs (the manifest governs; see netmax-scenario)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+		m, err := scenario.Load(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if m.Runtime == "live" {
+			fmt.Fprintln(os.Stderr, "error: netmax-bench runs engine-runtime scenarios; use netmax-live -scenario (or netmax-scenario run) for live manifests")
+			os.Exit(2)
+		}
+		if *par > 0 {
+			m.Parallelism = *par
+		}
+		rep, err := scenario.Run(m, scenario.RunOptions{Quick: *quick, OutDir: *scenOut})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Summary())
+		if rep.Dir != "" {
+			fmt.Printf("outputs written to %s\n", rep.Dir)
 		}
 		return
 	}

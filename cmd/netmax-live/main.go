@@ -9,6 +9,11 @@
 //	netmax-live -tcp -codec float32
 //	netmax-live -tcp -codec topk -topk 0.1
 //	netmax-live -crash 2 -crash-at 1.5 -rejoin-at 3    # kill worker 2 mid-run
+//	netmax-live -scenario scenarios/live-local-heterogeneous.json
+//
+// -scenario replaces the flag soup with a declarative manifest (runtime
+// "live"; see internal/scenario): the run is configured entirely from the
+// file and its resolved form is written next to the results.
 package main
 
 import (
@@ -23,8 +28,60 @@ import (
 	"netmax/internal/data"
 	"netmax/internal/live"
 	"netmax/internal/nn"
+	"netmax/internal/scenario"
 	"netmax/internal/transport"
 )
+
+// runScenario executes a live-runtime manifest and prints the same stats
+// block as the flag path.
+func runScenario(path string, quick bool, out string) {
+	m, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	// Banner from the configuration that will actually run: quick
+	// overrides applied first, defaults made explicit once.
+	banner := m
+	if quick {
+		banner = m.ApplyQuick()
+	}
+	r := banner.Resolved()
+	if r.Runtime != "live" {
+		fmt.Fprintln(os.Stderr, "error: netmax-live runs live-runtime scenarios; use netmax-bench -scenario (or netmax-scenario run) for engine manifests")
+		os.Exit(2)
+	}
+	fmt.Printf("Running scenario %q: %d live workers over %s (codec: %s, adaptive policy: %v)...\n",
+		r.Name, r.Workers, r.Live.Transport, codecName(r), !r.Live.Uniform)
+	rep, err := scenario.Run(m, scenario.RunOptions{Quick: quick, OutDir: out})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	printStats(rep.Live, codecName(r))
+	if rep.Dir != "" {
+		fmt.Printf("outputs written to %s\n", rep.Dir)
+	}
+}
+
+func codecName(r *scenario.Manifest) string {
+	if r.Codec == nil {
+		return "raw"
+	}
+	return r.Codec.Name
+}
+
+// printStats renders a live run's stats block; both the flag path and the
+// scenario path go through it so the two output formats cannot diverge.
+func printStats(stats *live.Stats, codec string) {
+	fmt.Printf("iterations per worker: %v\n", stats.IterationsPerWorker)
+	fmt.Printf("policy broadcasts:     %d\n", stats.PolicyVersions)
+	fmt.Printf("model pulls:           %d\n", stats.Pulls)
+	fmt.Printf("peer-down pulls:       %d\n", stats.PeerDownErrors)
+	fmt.Printf("bytes on wire:         %d (%s codec)\n", stats.BytesOnWire, codec)
+	fmt.Printf("final loss:            %.4f\n", stats.FinalLoss)
+	fmt.Printf("final accuracy:        %.2f%%\n", 100*stats.FinalAccuracy)
+}
 
 func main() {
 	var (
@@ -39,8 +96,16 @@ func main() {
 		crash     = flag.Int("crash", -1, "worker to crash mid-run (-1 disables)")
 		crashAt   = flag.Float64("crash-at", 1, "crash time in seconds since start")
 		rejoinAt  = flag.Float64("rejoin-at", 0, "rejoin time in seconds since start (<= crash-at means permanent)")
+		scen      = flag.String("scenario", "", "live-runtime scenario manifest to run instead of flags")
+		scenQuick = flag.Bool("quick", false, "with -scenario: apply the manifest's quick overrides")
+		scenOut   = flag.String("out", "runs", "with -scenario: output directory (resolved manifest + results); empty disables file output")
 	)
 	flag.Parse()
+
+	if *scen != "" {
+		runScenario(*scen, *scenQuick, *scenOut)
+		return
+	}
 
 	var cdc codec.Codec
 	if *codecName == "topk" {
@@ -109,12 +174,5 @@ func main() {
 			*workers, *seconds, cdc.Name(), !*uniform)
 	}
 	stats := live.Run(context.Background(), cfg, hub)
-
-	fmt.Printf("iterations per worker: %v\n", stats.IterationsPerWorker)
-	fmt.Printf("policy broadcasts:     %d\n", stats.PolicyVersions)
-	fmt.Printf("model pulls:           %d\n", stats.Pulls)
-	fmt.Printf("peer-down pulls:       %d\n", stats.PeerDownErrors)
-	fmt.Printf("bytes on wire:         %d (%s codec)\n", stats.BytesOnWire, cdc.Name())
-	fmt.Printf("final loss:            %.4f\n", stats.FinalLoss)
-	fmt.Printf("final accuracy:        %.2f%%\n", 100*stats.FinalAccuracy)
+	printStats(stats, cdc.Name())
 }

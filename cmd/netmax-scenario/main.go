@@ -1,0 +1,176 @@
+// Command netmax-scenario runs, validates and lists declarative scenario
+// manifests (internal/scenario): JSON documents that fully describe a
+// training run — runtime, algorithm, topology, network dynamics, data
+// partitioning, heterogeneity, failure schedule, codec, seeds — so that
+// scenarios are data instead of code. The checked-in library lives under
+// scenarios/.
+//
+//	netmax-scenario list ./scenarios
+//	netmax-scenario validate ./scenarios/...
+//	netmax-scenario run scenarios/churn-crash-rejoin.json
+//	netmax-scenario run -quick -out runs scenarios/compression-topk25.json
+//	netmax-scenario run -quick scenarios/cluster-resnet18-cifar10.json scenarios/crossregion-mobilenet.json
+//
+// Every run writes its fully-resolved manifest (every default made
+// explicit) next to its results — <out>/<name>/resolved.json — so any
+// reported number is reproducible from one file:
+//
+//	netmax-scenario run runs/churn-crash-rejoin/resolved.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"netmax/internal/scenario"
+	"netmax/internal/tensor"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  netmax-scenario run [-quick] [-out dir] [-par n] <manifest.json>...
+  netmax-scenario validate <file|dir|dir/...>...
+  netmax-scenario list <file|dir|dir/...>...
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "validate":
+		validateCmd(os.Args[2:])
+	case "list":
+		listCmd(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "netmax-scenario: unknown subcommand %q\n", os.Args[1])
+		usage()
+	}
+}
+
+// expand turns file/dir/"dir/..." arguments into a flat list of manifest
+// paths (every *.json under a directory, recursively).
+func expand(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		a = strings.TrimSuffix(a, "/...")
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".json") {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no manifests found in %v", args)
+	}
+	return out, nil
+}
+
+func runCmd(args []string) {
+	fl := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fl.Bool("quick", false, "apply the manifest's quick overrides (smoke scale)")
+	out := fl.String("out", "runs", "directory for per-scenario outputs (resolved.json, result.json, curve.csv); empty disables file output")
+	par := fl.Int("par", 0, "host parallelism: 0 = NumCPU, 1 = serial; results are identical either way")
+	fl.Parse(args)
+	if fl.NArg() == 0 {
+		usage()
+	}
+	if *par < 0 {
+		fmt.Fprintln(os.Stderr, "error: -par must be >= 0")
+		os.Exit(2)
+	}
+	tensor.SetParallelism(*par)
+	paths, err := expand(fl.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, path := range paths {
+		m, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if *par > 0 && m.Runtime != "live" {
+			m.Parallelism = *par
+		}
+		rep, err := scenario.Run(m, scenario.RunOptions{Quick: *quick, OutDir: *out})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Summary())
+		if rep.Dir != "" {
+			fmt.Printf("  outputs: %s (resolved manifest + results)\n", rep.Dir)
+		}
+	}
+}
+
+func validateCmd(args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	paths, err := expand(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	bad := 0
+	for _, path := range paths {
+		if _, err := scenario.Load(path); err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "INVALID %s\n  %v\n", path, err)
+			continue
+		}
+		fmt.Printf("ok      %s\n", path)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d manifests invalid\n", bad, len(paths))
+		os.Exit(1)
+	}
+	fmt.Printf("%d manifests valid\n", len(paths))
+}
+
+func listCmd(args []string) {
+	if len(args) == 0 {
+		args = []string{"scenarios"}
+	}
+	paths, err := expand(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, path := range paths {
+		m, err := scenario.Load(path)
+		if err != nil {
+			fmt.Printf("%-34s  (invalid: %v)\n", filepath.Base(path), err)
+			continue
+		}
+		r := m.Resolved()
+		kind := fmt.Sprintf("%s/%s", r.Runtime, r.Algorithm)
+		fmt.Printf("%-34s  %-22s  %s\n", r.Name, kind, m.Description)
+	}
+}

@@ -40,6 +40,65 @@ func ExampleGeneratePolicy() {
 	// policy converges: true
 }
 
+// ExampleTrain_churn injects a declarative failure schedule into a
+// simulated run: worker 1 crashes and rejoins, worker 2 hangs
+// (undetectable), and the monitor's liveness tracking routes around both.
+func ExampleTrain_churn() {
+	train, test := netmax.Dataset(netmax.SynthMNIST, 1)
+	cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, 4, 3, 1)
+	cfg.Failures = netmax.NewFailureSchedule().
+		Crash(1, 2, 4). // worker 1 down for 2 virtual seconds
+		Hang(2, 1, 3)   // worker 2 freezes (no membership event)
+	r := netmax.Train(cfg, netmax.Options{StalePeriods: 2})
+	fmt.Println("epochs:", r.Epochs)
+	fmt.Println("survived and learned:", r.FinalAccuracy > 0.9)
+	// Output:
+	// epochs: 3
+	// survived and learned: true
+}
+
+// ExampleRunScenario drives a run from a declarative manifest instead of
+// code: the JSON fully describes the workload, and the report carries the
+// resolved (fully-defaulted) manifest that reproduces it.
+func ExampleRunScenario() {
+	manifest := []byte(`{
+	  "name": "quickstart",
+	  "model": "MobileNet",
+	  "dataset": "MNIST",
+	  "workers": 4,
+	  "epochs": 4
+	}`)
+	sc, err := netmax.ParseScenario(manifest)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep, err := netmax.RunScenario(sc, netmax.ScenarioRunOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("algorithm:", rep.Manifest.Algorithm)
+	fmt.Println("epochs:", rep.Engine.Epochs)
+	fmt.Println("learned:", rep.Engine.FinalAccuracy > 0.9)
+	// Output:
+	// algorithm: netmax
+	// epochs: 4
+	// learned: true
+}
+
+// ExampleParseScenario_invalid shows the manifest validator rejecting a
+// cross-field inconsistency: a crash scheduled after its own rejoin.
+func ExampleParseScenario_invalid() {
+	_, err := netmax.ParseScenario([]byte(`{
+	  "name": "bad",
+	  "failures": {"events": [{"kind": "crash", "worker": 1, "at": 9, "rejoin": 5}]}
+	}`))
+	fmt.Println(err)
+	// Output:
+	// scenario "bad": failure event 0: crash rejoin (5) must come after the crash (9); use kind "leave" for a permanent crash
+}
+
 // ExampleExperiment regenerates a paper figure programmatically.
 func ExampleExperiment() {
 	res, err := netmax.Experiment("fig3", 1, true)

@@ -4,6 +4,11 @@
 // schedules, and the reconvergence trace shows the consensus loss dipping
 // at the crash and recovering after the rejoin.
 //
+// Every run in the table is driven by a declarative scenario manifest
+// (internal/scenario) — the same schema as the checked-in scenarios/churn-*
+// library files — built programmatically here because the failure windows
+// are calibrated against the clean run's measured horizon.
+//
 //	go run ./examples/churn
 //	go run ./examples/churn -quick
 package main
@@ -11,9 +16,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
-	"netmax"
-	"netmax/internal/simnet"
+	"netmax/internal/engine"
+	"netmax/internal/scenario"
 )
 
 func main() {
@@ -24,71 +30,92 @@ func main() {
 	flag.Parse()
 
 	workers, epochs := 8, 8
-	spec, dataset := netmax.SimResNet18, netmax.SynthCIFAR10
+	model, dataset := "ResNet18", "CIFAR10"
 	if *quick {
 		workers, epochs = 4, 3
-		spec, dataset = netmax.SimMobileNet, netmax.SynthMNIST
+		model, dataset = "MobileNet", "MNIST"
 	}
-	train, test := netmax.Dataset(dataset, *seed)
 
-	baseCfg := func() *netmax.Config {
-		cfg := netmax.ClusterConfig(spec, train, test, workers, epochs, *seed)
-		// A static base network isolates the churn effects from the
-		// moving-slow-link dynamics of the default cluster schedule.
-		cfg.Net = simnet.NewStatic(simnet.PaperCluster(workers))
-		cfg.LRDecayEpoch = 0
-		return cfg
+	// Base manifest: a static network isolates the churn effects from the
+	// moving-slow-link dynamics of the default cluster schedule. The same
+	// base with the same failure block as scenarios/churn-*.json.
+	base := func(name, algo string, fs *scenario.FailureSpec) *scenario.Manifest {
+		m := &scenario.Manifest{
+			Name:      name,
+			Algorithm: algo,
+			Model:     model,
+			Dataset:   dataset,
+			Workers:   workers,
+			Epochs:    epochs,
+			Seed:      *seed,
+			Network:   &scenario.NetworkSpec{Kind: "static"},
+			Failures:  fs,
+		}
+		if algo == "netmax" {
+			m.NetMax = &scenario.NetMaxSpec{TsSecs: 2.4, StalePeriods: 2}
+		}
+		return m
 	}
-	opts := netmax.Options{Ts: 2.4, StalePeriods: 2}
+	run := func(m *scenario.Manifest) *engine.Result {
+		rep, err := scenario.Run(m, scenario.RunOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return rep.Engine
+	}
 
 	// Calibrate the failure windows against a clean NetMax run.
-	clean := netmax.Train(baseCfg(), opts)
+	clean := run(base("churn-clean", "netmax", nil))
 	horizon := clean.TotalTime
 
-	detect := 0.5 // simulated pull deadline (seconds of virtual time)
-	mkSchedule := func(build func(s *simnet.FailureSchedule)) *simnet.FailureSchedule {
-		s := simnet.NewFailureSchedule()
-		s.DetectSecs = detect
-		build(s)
-		return s
+	const detect = 0.5 // simulated pull deadline (virtual seconds)
+	crashSpec := &scenario.FailureSpec{
+		DetectSecs: detect,
+		Events: []scenario.FailureEvent{
+			{Kind: "crash", Worker: 1, At: 0.25 * horizon, Rejoin: 0.55 * horizon},
+		},
 	}
 	scenarios := []struct {
 		name string
-		fs   *simnet.FailureSchedule
+		fs   *scenario.FailureSpec
 	}{
 		{"clean", nil},
-		{"crash+rejoin", mkSchedule(func(s *simnet.FailureSchedule) {
-			s.Crash(1, 0.25*horizon, 0.55*horizon)
-		})},
-		{"hang", mkSchedule(func(s *simnet.FailureSchedule) {
-			s.Hang(1, 0.25*horizon, 0.55*horizon)
-		})},
-		{"blackout", mkSchedule(func(s *simnet.FailureSchedule) {
-			s.Blackout(0, 1, 0.25*horizon, 0.75*horizon)
-		})},
-		{"churn x2", func() *simnet.FailureSchedule {
-			s := netmax.NewRandomChurn(workers, *seed, horizon, 2, 0.1*horizon)
-			s.DetectSecs = detect
-			return s
-		}()},
+		{"crash+rejoin", crashSpec},
+		{"hang", &scenario.FailureSpec{
+			DetectSecs: detect,
+			Events: []scenario.FailureEvent{
+				{Kind: "hang", Worker: 1, At: 0.25 * horizon, Until: 0.55 * horizon},
+			},
+		}},
+		{"blackout", &scenario.FailureSpec{
+			DetectSecs: detect,
+			Events: []scenario.FailureEvent{
+				{Kind: "blackout", A: 0, B: 1, At: 0.25 * horizon, Until: 0.75 * horizon},
+			},
+		}},
+		{"churn x2", &scenario.FailureSpec{
+			DetectSecs: detect,
+			RandomChurn: &scenario.RandomChurnSpec{
+				HorizonSecs:      horizon,
+				CrashesPerWorker: 2,
+				MeanDownSecs:     0.1 * horizon,
+			},
+		}},
 	}
 
 	fmt.Printf("churn scenario table: %d workers, %d epochs, detect deadline %.1fs\n\n", workers, epochs, detect)
 	fmt.Printf("%-14s  %-10s  %9s  %10s  %7s\n", "scenario", "algo", "acc", "wall-clock", "steps")
-	type run struct {
+	type runPair struct {
 		name string
-		nm   *netmax.Result
-		ad   *netmax.Result
+		nm   *engine.Result
+		ad   *engine.Result
 	}
-	var runs []run
+	var runs []runPair
 	for _, sc := range scenarios {
-		cfgNM := baseCfg()
-		cfgNM.Failures = sc.fs
-		nm := netmax.Train(cfgNM, opts)
-		cfgAD := baseCfg()
-		cfgAD.Failures = sc.fs
-		ad := netmax.TrainADPSGD(cfgAD)
-		runs = append(runs, run{sc.name, nm, ad})
+		nm := run(base("churn-"+sc.name+"-netmax", "netmax", sc.fs))
+		ad := run(base("churn-"+sc.name+"-adpsgd", "adpsgd", sc.fs))
+		runs = append(runs, runPair{sc.name, nm, ad})
 		fmt.Printf("%-14s  %-10s  %8.2f%%  %9.1fs  %7d\n", sc.name, "NetMax", 100*nm.FinalAccuracy, nm.TotalTime, nm.GlobalSteps)
 		fmt.Printf("%-14s  %-10s  %8.2f%%  %9.1fs  %7d\n", "", "AD-PSGD", 100*ad.FinalAccuracy, ad.TotalTime, ad.GlobalSteps)
 	}

@@ -1,25 +1,27 @@
-// Compression-vs-accuracy scenario: the same live NetMax group trained
-// under each wire codec, comparing bytes-on-wire against final accuracy —
-// the communication-efficiency experiment the NetMax setting motivates but
-// the paper's testbed could not vary. A second table runs the
-// discrete-event engine on the heterogeneous cluster so the codecs' effect
-// on *virtual* wall-clock (with MobileNet-scale transfers) is visible too.
+// Compression-vs-accuracy scenario: the same NetMax group trained under
+// each wire codec, comparing bytes-on-wire against final accuracy — the
+// communication-efficiency experiment the NetMax setting motivates but the
+// paper's testbed could not vary. The first table runs the live runtime
+// (real goroutine workers over the in-process transport); the second runs
+// the discrete-event engine on the heterogeneous cluster so the codecs'
+// effect on *virtual* wall-clock (with MobileNet-scale transfers) is
+// visible too.
+//
+// Both tables are driven by declarative scenario manifests
+// (internal/scenario) — the same schema as the checked-in
+// scenarios/compression-* and scenarios/live-* library files — with only
+// the codec block varying between rows.
 //
 //	go run ./examples/compression
+//	go run ./examples/compression -quick
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
-	"time"
+	"os"
 
-	"netmax"
-	"netmax/internal/codec"
-	"netmax/internal/data"
-	"netmax/internal/live"
-	"netmax/internal/nn"
-	"netmax/internal/transport"
+	"netmax/internal/scenario"
 )
 
 func main() {
@@ -31,40 +33,50 @@ func main() {
 		iters = 30
 		simWorkers, epochs = 4, 2
 	}
-	codecs := []codec.Codec{
-		codec.Raw{},
-		codec.Float32{},
-		codec.NewTopK(0.25),
-		codec.NewTopK(0.10),
+	codecs := []*scenario.CodecSpec{
+		{Name: "raw"},
+		{Name: "float32"},
+		{Name: "topk", TopKFrac: 0.25},
+		{Name: "topk", TopKFrac: 0.10},
 	}
-	label := func(c codec.Codec) string {
-		if tk, ok := c.(codec.TopK); ok {
-			return fmt.Sprintf("topk %.0f%%", 100*tk.Frac)
+	label := func(c *scenario.CodecSpec) string {
+		if c.Name == "topk" {
+			return fmt.Sprintf("topk %.0f%%", 100*c.TopKFrac)
 		}
-		return c.Name()
+		return c.Name
+	}
+	slug := func(c *scenario.CodecSpec) string {
+		if c.Name == "topk" {
+			return fmt.Sprintf("topk%.0f", 100*c.TopKFrac)
+		}
+		return c.Name
+	}
+	run := func(m *scenario.Manifest) *scenario.Report {
+		rep, err := scenario.Run(m, scenario.RunOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return rep
 	}
 
 	// --- live runtime: real goroutine workers, SynthMNIST on SimMobileNet ---
-	fmt.Printf("live group: %d workers x %d iterations, SynthMNIST, %s stand-in\n\n",
-		workers, iters, nn.SimMobileNet.Name)
+	fmt.Printf("live group: %d workers x %d iterations, MNIST, MobileNet stand-in\n\n", workers, iters)
 	fmt.Printf("%-10s  %14s  %10s  %10s  %9s\n", "codec", "bytes on wire", "vs raw", "pulls", "accuracy")
 	var rawBytes float64
 	for _, c := range codecs {
-		train, test := data.SynthMNIST.Generate(1)
-		cfg := live.Config{
-			Spec:       nn.SimMobileNet,
-			Part:       data.Uniform(train, workers, 1),
-			Test:       test,
-			LR:         0.1,
-			Batch:      16,
-			Seed:       7,
-			Ts:         50 * time.Millisecond,
-			Iterations: iters,
-			Codec:      c,
+		m := &scenario.Manifest{
+			Name:    "compression-live-" + slug(c),
+			Runtime: "live",
+			Model:   "MobileNet",
+			Dataset: "MNIST",
+			Workers: workers,
+			Codec:   c,
+			Live:    &scenario.LiveSpec{Iterations: iters, TsMillis: 50},
 		}
-		stats := live.Run(context.Background(), cfg, transport.NewLocalNet())
+		stats := run(m).Live
 		perPull := float64(stats.BytesOnWire) / float64(stats.Pulls)
-		if _, ok := c.(codec.Raw); ok {
+		if c.Name == "raw" {
 			rawBytes = perPull
 		}
 		fmt.Printf("%-10s  %14d  %9.1fx  %10d  %8.2f%%\n",
@@ -73,16 +85,22 @@ func main() {
 
 	// --- discrete-event engine: MobileNet-scale transfers on the paper's
 	// heterogeneous cluster, so compression moves the virtual clock ---
-	fmt.Printf("\nsimulated cluster: %d workers x %d epochs, %s (%d MB raw pulls), dynamic slow link\n\n",
-		simWorkers, epochs, nn.SimMobileNet.Name, nn.SimMobileNet.ModelBytes()*2/1_000_000)
+	fmt.Printf("\nsimulated cluster: %d workers x %d epochs, MobileNet (~8 MB raw pulls), dynamic slow link\n\n",
+		simWorkers, epochs)
 	fmt.Printf("%-10s  %14s  %12s  %12s  %9s\n", "codec", "bytes on wire", "vs raw", "total time", "accuracy")
 	var rawTotal float64
 	for _, c := range codecs {
-		train, test := netmax.Dataset(netmax.SynthMNIST, 1)
-		cfg := netmax.ClusterConfig(netmax.SimMobileNet, train, test, simWorkers, epochs, 1)
-		cfg.Codec = c
-		res := netmax.Train(cfg, netmax.Options{})
-		if _, ok := c.(codec.Raw); ok {
+		m := &scenario.Manifest{
+			Name:         "compression-sim-" + slug(c),
+			Model:        "MobileNet",
+			Dataset:      "MNIST",
+			Workers:      simWorkers,
+			Epochs:       epochs,
+			LRDecayEpoch: epochs * 7 / 10,
+			Codec:        c,
+		}
+		res := run(m).Engine
+		if c.Name == "raw" {
 			rawTotal = float64(res.BytesSent)
 		}
 		fmt.Printf("%-10s  %14d  %11.1fx  %11.1fs  %8.2f%%\n",

@@ -1,0 +1,989 @@
+// Package scenario makes training scenarios data instead of code.
+//
+// Historically every evaluation scenario in this repository — a paper
+// figure, a churn sweep, a compression matrix, a cross-region WAN run — was
+// hand-assembled from flag soup and per-example main functions. A scenario
+// manifest is a single JSON document that fully describes a run: the
+// runtime (discrete-event engine or live process group), the algorithm and
+// its options, the topology and network dynamics, worker count, data
+// partitioning, compute heterogeneity, failure schedule, wire codec, seeds,
+// host parallelism and output selections.
+//
+// The lifecycle is
+//
+//	m, err := scenario.Load("scenarios/churn-crash-rejoin.json") // parse + validate
+//	rep, err := scenario.Run(m, scenario.RunOptions{OutDir: "runs"})
+//
+// Load rejects unknown fields (a typoed knob must fail loudly, not silently
+// run the default) and Validate performs cross-field checks (a crash must
+// precede its rejoin, a cluster layout must sum to the worker count, ...).
+// Resolved returns the manifest with every default made explicit; Run
+// writes that resolved manifest next to the run's results, so any number in
+// any table is reproducible from one file. A manifest that injects no
+// failures and no codec builds a configuration bitwise-identical to the
+// equivalent hand-assembled one — the determinism gate in
+// determinism_test.go enforces it.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"netmax/internal/codec"
+	"netmax/internal/data"
+	"netmax/internal/nn"
+	"netmax/internal/simnet"
+)
+
+// Manifest is the declarative description of one training run.
+//
+// Zero values mean "use the documented default"; Resolved returns a copy
+// with every default made explicit. Engine-runtime manifests may set
+// Topology, Network, Partition, Compute, Failures and NetMax; live-runtime
+// manifests use Live instead (plus Partition and Codec, which both runtimes
+// share).
+type Manifest struct {
+	// Name identifies the scenario; it becomes the output directory name,
+	// so it must be non-empty and contain no path separators.
+	Name string `json:"name"`
+	// Description is free-form documentation shown by `netmax-scenario list`.
+	Description string `json:"description,omitempty"`
+	// Runtime selects the execution substrate: "engine" (default) for the
+	// deterministic discrete-event simulation, "live" for the concurrent
+	// goroutine process group.
+	Runtime string `json:"runtime,omitempty"`
+	// Algorithm names the training approach. Engine runtime accepts
+	// netmax (default), adpsgd, adpsgd-monitor, gossip, saps, dlion, hop,
+	// allreduce, dpsgd, prague, ps-sync, ps-async. Live runtime runs
+	// NetMax (or uniform AD-PSGD-style selection via live.uniform).
+	Algorithm string `json:"algorithm,omitempty"`
+	// HopStaleness is Hop's staleness bound (algorithm "hop" only;
+	// 0 selects the baseline default).
+	HopStaleness int `json:"hop_staleness,omitempty"`
+	// Model is an nn model-zoo name: MobileNet, ResNet18 (default),
+	// ResNet50, VGG19, GoogLeNet.
+	Model string `json:"model,omitempty"`
+	// Dataset is a synthetic dataset name: MNIST, CIFAR10 (default),
+	// CIFAR100, TinyImageNet, ImageNet.
+	Dataset string `json:"dataset,omitempty"`
+	// Workers is the node count (default 8 for engine, 4 for live).
+	Workers int `json:"workers,omitempty"`
+	// Seed drives dataset generation, model init, partitioning, network
+	// dynamics and every stochastic decision (default 1).
+	Seed int64 `json:"seed,omitempty"`
+
+	// Epochs bounds an engine run in passes over the union of shards
+	// (default 8). Engine-only; live runs bound by iterations/duration.
+	Epochs int `json:"epochs,omitempty"`
+	// Batch is the per-segment batch size (default 16).
+	Batch int `json:"batch,omitempty"`
+	// LR is the SGD learning rate (default 0.1).
+	LR float64 `json:"lr,omitempty"`
+	// LRDecayEpoch divides the learning rate by 10 after that epoch
+	// completes; 0 (default) disables decay. Engine-only.
+	LRDecayEpoch int `json:"lr_decay_epoch,omitempty"`
+	// Overlap enables Algorithm 2's compute/communication overlap
+	// (default true). Engine-only.
+	Overlap *bool `json:"overlap,omitempty"`
+	// Parallelism bounds host-level concurrency: 0 (default) one worker
+	// per CPU, 1 serial. Results are bitwise identical at any setting.
+	// Engine-only.
+	Parallelism int `json:"parallelism,omitempty"`
+
+	Topology  *TopologySpec  `json:"topology,omitempty"`
+	Network   *NetworkSpec   `json:"network,omitempty"`
+	Partition *PartitionSpec `json:"partition,omitempty"`
+	Compute   *ComputeSpec   `json:"compute,omitempty"`
+	Codec     *CodecSpec     `json:"codec,omitempty"`
+	Failures  *FailureSpec   `json:"failures,omitempty"`
+	NetMax    *NetMaxSpec    `json:"netmax,omitempty"`
+	Live      *LiveSpec      `json:"live,omitempty"`
+	Output    *OutputSpec    `json:"output,omitempty"`
+	Quick     *QuickSpec     `json:"quick,omitempty"`
+}
+
+// TopologySpec places workers onto machines. Engine-only.
+type TopologySpec struct {
+	// Kind: "paper-cluster" (default; the paper's Section V-A placement),
+	// "single-machine", "ring", "cluster" (explicit NodesPerMachine), or
+	// "cross-region" (implied by — and only valid with — the cross-region
+	// network).
+	Kind string `json:"kind"`
+	// NodesPerMachine gives the per-machine worker counts for kind
+	// "cluster"; entries must be positive and sum to the worker count.
+	NodesPerMachine []int `json:"nodes_per_machine,omitempty"`
+}
+
+// NetworkSpec selects the link-rate model and its dynamics. Engine-only.
+type NetworkSpec struct {
+	// Kind: "heterogeneous" (default; cluster rates plus the moving 2-100x
+	// slow link), "homogeneous" (10 Gbps virtual switch), "static"
+	// (cluster rates, no dynamics), "shuffled" (a random third of links
+	// congested, re-drawn every period), or "cross-region" (the Appendix G
+	// six-region WAN).
+	Kind string `json:"kind"`
+	// Seed drives the dynamic schedules; nil uses the manifest seed.
+	Seed *int64 `json:"seed,omitempty"`
+	// PeriodSecs is the slow-link relocation (or shuffle) period for the
+	// dynamic kinds; 0 selects the experiments default (6 virtual
+	// seconds, the paper's 300s over the 50x time scale).
+	PeriodSecs float64 `json:"period_secs,omitempty"`
+	// HorizonSecs is how much virtual time the dynamic schedule covers;
+	// 0 selects 1e7 (effectively unbounded).
+	HorizonSecs float64 `json:"horizon_secs,omitempty"`
+}
+
+// PartitionSpec assigns data shards to workers.
+type PartitionSpec struct {
+	// Kind: "uniform" (default), "segments" (the Section V-F non-uniform
+	// scheme; batch scales with segment count), or "label-skew" (each
+	// worker loses whole classes).
+	Kind string `json:"kind"`
+	// Segments lists each worker's relative data weight (kind "segments").
+	Segments []int `json:"segments,omitempty"`
+	// LostLabels lists, per worker, the class labels it never sees
+	// (kind "label-skew").
+	LostLabels [][]int `json:"lost_labels,omitempty"`
+	// Preset expands to a paper table: "paper-8"/"paper-16" (Section V-F
+	// segment layouts), "table-4" (the 8-worker MNIST skew), "table-7"
+	// (the 6-region skew). Resolved replaces the preset with the concrete
+	// Segments/LostLabels.
+	Preset string `json:"preset,omitempty"`
+}
+
+// ComputeSpec describes compute heterogeneity: per-worker multipliers on
+// gradient-computation time. Engine-only.
+type ComputeSpec struct {
+	// Kind: "explicit" (Scale given verbatim), "straggler" (one worker
+	// Factor-times slower), "linear" (a Min..Max ramp across workers), or
+	// "lognormal" (deterministic lognormal draws with the given Sigma).
+	Kind string `json:"kind"`
+	// Scale is the per-worker multiplier vector for kind "explicit".
+	Scale []float64 `json:"scale,omitempty"`
+	// Worker and Factor configure kind "straggler".
+	Worker int     `json:"worker,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	// Min and Max configure kind "linear": worker i's multiplier ramps
+	// linearly from Min (worker 0) to Max (last worker).
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Sigma and Seed configure kind "lognormal"; nil Seed uses the
+	// manifest seed.
+	Sigma float64 `json:"sigma,omitempty"`
+	Seed  *int64  `json:"seed,omitempty"`
+}
+
+// CodecSpec selects the wire compression codec for model pulls.
+type CodecSpec struct {
+	// Name: "raw", "float32", or "topk".
+	Name string `json:"name"`
+	// TopKFrac is the fraction of coordinates the topk codec keeps
+	// (0 selects the codec default; only valid with "topk").
+	TopKFrac float64 `json:"topk_frac,omitempty"`
+}
+
+// FailureSpec is the declarative form of simnet.FailureSchedule. Engine-only.
+type FailureSpec struct {
+	// DetectSecs is the simulated pull deadline charged for a pull at an
+	// unresponsive peer; 0 selects simnet.DefaultDetectSecs.
+	DetectSecs float64 `json:"detect_secs,omitempty"`
+	// Events lists the scheduled failures.
+	Events []FailureEvent `json:"events,omitempty"`
+	// RandomChurn adds a deterministic random crash schedule on top of
+	// Events.
+	RandomChurn *RandomChurnSpec `json:"random_churn,omitempty"`
+}
+
+// FailureEvent is one scheduled churn event on the virtual clock.
+type FailureEvent struct {
+	// Kind: "crash" (Worker, At, Rejoin), "hang" (Worker, At, Until),
+	// "leave" (Worker, At), or "blackout" (A, B, At, Until).
+	Kind   string  `json:"kind"`
+	Worker int     `json:"worker,omitempty"`
+	A      int     `json:"a,omitempty"`
+	B      int     `json:"b,omitempty"`
+	At     float64 `json:"at"`
+	Until  float64 `json:"until,omitempty"`
+	Rejoin float64 `json:"rejoin,omitempty"`
+}
+
+// RandomChurnSpec parameterizes simnet.NewRandomChurn.
+type RandomChurnSpec struct {
+	// Seed drives the schedule; nil uses the manifest seed.
+	Seed *int64 `json:"seed,omitempty"`
+	// HorizonSecs is the virtual-time window the churn covers.
+	HorizonSecs float64 `json:"horizon_secs"`
+	// CrashesPerWorker is the expected crash count per worker.
+	CrashesPerWorker float64 `json:"crashes_per_worker"`
+	// MeanDownSecs is the mean downtime per crash.
+	MeanDownSecs float64 `json:"mean_down_secs"`
+}
+
+// NetMaxSpec tunes the NetMax monitor/policy loop (algorithms "netmax" and
+// "adpsgd-monitor" only). Engine-only; the live runtime's knobs are in
+// LiveSpec.
+type NetMaxSpec struct {
+	// TsSecs is the Network Monitor period in virtual seconds (default
+	// 2.4, the paper's 120s over the 50x time scale).
+	TsSecs float64 `json:"ts_secs,omitempty"`
+	// Beta is the EMA smoothing factor (default 0.5).
+	Beta float64 `json:"beta,omitempty"`
+	// PolicyRounds sets Algorithm 3's K and R grids (default 10).
+	PolicyRounds int `json:"policy_rounds,omitempty"`
+	// Epsilon is the Eq. 9 convergence target (default 0.01).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// UniformPolicy disables the adaptive policy (the uniform ablation).
+	UniformPolicy bool `json:"uniform_policy,omitempty"`
+	// FixedBlend replaces the 1/p-scaled consensus weight with plain
+	// averaging (only meaningful for "netmax"; "adpsgd-monitor" implies it).
+	FixedBlend bool `json:"fixed_blend,omitempty"`
+	// StalePeriods enables monitor liveness eviction (0 disables — the
+	// right setting for failure-free runs).
+	StalePeriods int `json:"stale_periods,omitempty"`
+}
+
+// LiveSpec configures the live (goroutine / TCP) runtime.
+type LiveSpec struct {
+	// Transport: "local" (default; in-process with injectable latency) or
+	// "tcp" (loopback sockets speaking the binary wire protocol).
+	Transport string `json:"transport,omitempty"`
+	// TsMillis is the monitor's wall-clock policy period (default 500).
+	TsMillis int `json:"ts_millis,omitempty"`
+	// DurationSecs bounds the run in wall-clock seconds; 0 relies on
+	// Iterations.
+	DurationSecs float64 `json:"duration_secs,omitempty"`
+	// Iterations bounds per-worker iterations; 0 relies on DurationSecs.
+	Iterations int `json:"iterations,omitempty"`
+	// PullTimeoutSecs bounds every model pull and monitor exchange;
+	// 0 selects the 2s default, negative disables deadlines.
+	PullTimeoutSecs float64 `json:"pull_timeout_secs,omitempty"`
+	// StalePeriods configures monitor liveness eviction; 0 selects the
+	// default of 3, negative disables.
+	StalePeriods int `json:"stale_periods,omitempty"`
+	// Uniform disables the adaptive policy (AD-PSGD-style selection).
+	Uniform bool `json:"uniform,omitempty"`
+	// Beta is the EMA smoothing factor (default 0.5).
+	Beta float64 `json:"beta,omitempty"`
+	// Latency injects artificial latency on the local transport.
+	Latency *LatencySpec `json:"latency,omitempty"`
+	// Churn schedules wall-clock crash/rejoin events.
+	Churn []LiveChurnEvent `json:"churn,omitempty"`
+}
+
+// LatencySpec emulates a two-tier network on the in-process transport: the
+// first Colocated workers share fast links; every other pair is slow.
+type LatencySpec struct {
+	// Colocated is how many leading workers count as co-located.
+	Colocated int `json:"colocated"`
+	// IntraMillis is the latency between co-located workers (and between
+	// non-co-located ones — the "same side" rule), InterMillis across.
+	IntraMillis float64 `json:"intra_millis"`
+	InterMillis float64 `json:"inter_millis"`
+}
+
+// LiveChurnEvent schedules one wall-clock crash; RejoinSecs at or before
+// AtSecs means the worker leaves permanently.
+type LiveChurnEvent struct {
+	Worker     int     `json:"worker"`
+	AtSecs     float64 `json:"at_secs"`
+	RejoinSecs float64 `json:"rejoin_secs,omitempty"`
+}
+
+// OutputSpec selects what a run writes next to its resolved manifest.
+type OutputSpec struct {
+	// Curves also writes the loss curve as CSV (engine runtime).
+	Curves bool `json:"curves,omitempty"`
+}
+
+// QuickSpec lists overrides applied when a run is invoked with -quick:
+// fields left zero keep the manifest's full-scale values.
+type QuickSpec struct {
+	Workers      int     `json:"workers,omitempty"`
+	Epochs       int     `json:"epochs,omitempty"`
+	Iterations   int     `json:"iterations,omitempty"`
+	DurationSecs float64 `json:"duration_secs,omitempty"`
+}
+
+// Default values made explicit by Resolved.
+const (
+	DefaultRuntime     = "engine"
+	DefaultAlgorithm   = "netmax"
+	DefaultModel       = "ResNet18"
+	DefaultDataset     = "CIFAR10"
+	DefaultWorkers     = 8
+	DefaultLiveWorkers = 4
+	DefaultSeed        = 1
+	DefaultEpochs      = 8
+	DefaultBatch       = 16
+	DefaultLR          = 0.1
+	// DefaultMonitorTs is the NetMax monitor period in virtual seconds:
+	// the paper's 120s over the evaluation's 50x time scale (the same
+	// constant as experiments.MonitorTs, duplicated to keep this package
+	// off the experiment registry).
+	DefaultMonitorTs = 2.4
+	// DefaultSlowPeriod is the slow-link relocation period: the paper's
+	// 300s over the 50x time scale (= experiments.SlowPeriod).
+	DefaultSlowPeriod = 6.0
+	// DefaultHorizon is the virtual-time span dynamic network schedules
+	// cover; effectively unbounded.
+	DefaultHorizon     = 1e7
+	DefaultLiveTsMs    = 500
+	DefaultPullTimeout = 2.0
+	DefaultLiveStale   = 3
+)
+
+// Parse decodes a manifest from JSON, rejecting unknown fields, and
+// validates it.
+func Parse(raw []byte) (*Manifest, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	// Trailing garbage after the manifest object is as much a mistake as
+	// an unknown field.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: parse: trailing data after manifest object")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Load reads, parses and validates a manifest file.
+func Load(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	m, err := Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}
+
+// clone deep-copies a manifest through JSON (the schema is pure data).
+func (m *Manifest) clone() *Manifest {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: clone marshal: %v", err))
+	}
+	var out Manifest
+	if err := json.Unmarshal(raw, &out); err != nil {
+		panic(fmt.Sprintf("scenario: clone unmarshal: %v", err))
+	}
+	return &out
+}
+
+func boolPtr(b bool) *bool  { return &b }
+func i64Ptr(v int64) *int64 { return &v }
+func orStr(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
+
+// Resolved returns a copy of the manifest with every default made explicit.
+// Running the resolved manifest builds a configuration identical to running
+// the original, and resolving is idempotent: Resolved(Resolved(m)) equals
+// Resolved(m), and a resolved manifest survives a marshal/parse round trip
+// unchanged (the fixed point the round-trip test enforces).
+func (m *Manifest) Resolved() *Manifest {
+	r := m.clone()
+	r.Runtime = orStr(r.Runtime, DefaultRuntime)
+	r.Algorithm = orStr(r.Algorithm, defaultAlgorithm(r.Runtime))
+	r.Model = orStr(r.Model, DefaultModel)
+	r.Dataset = orStr(r.Dataset, DefaultDataset)
+	if r.Seed == 0 {
+		r.Seed = DefaultSeed
+	}
+	if r.Workers == 0 {
+		if r.Runtime == "live" {
+			r.Workers = DefaultLiveWorkers
+		} else {
+			r.Workers = DefaultWorkers
+		}
+	}
+	if r.Batch == 0 {
+		r.Batch = DefaultBatch
+	}
+	if r.LR == 0 {
+		r.LR = DefaultLR
+	}
+	if r.Partition == nil {
+		r.Partition = &PartitionSpec{}
+	}
+	r.Partition.Kind = orStr(r.Partition.Kind, "uniform")
+	expandPreset(r.Partition)
+	if r.Codec != nil && r.Codec.Name == "topk" && r.Codec.TopKFrac == 0 {
+		r.Codec.TopKFrac = codec.DefaultTopKFrac
+	}
+
+	switch r.Runtime {
+	case "live":
+		if r.Live == nil {
+			r.Live = &LiveSpec{}
+		}
+		l := r.Live
+		l.Transport = orStr(l.Transport, "local")
+		if l.TsMillis == 0 {
+			l.TsMillis = DefaultLiveTsMs
+		}
+		if l.PullTimeoutSecs == 0 {
+			l.PullTimeoutSecs = DefaultPullTimeout
+		}
+		if l.StalePeriods == 0 {
+			l.StalePeriods = DefaultLiveStale
+		}
+		if l.Beta == 0 {
+			l.Beta = 0.5
+		}
+	default: // engine
+		if r.Epochs == 0 {
+			r.Epochs = DefaultEpochs
+		}
+		if r.Overlap == nil {
+			r.Overlap = boolPtr(true)
+		}
+		if r.Network == nil {
+			r.Network = &NetworkSpec{}
+		}
+		r.Network.Kind = orStr(r.Network.Kind, "heterogeneous")
+		switch r.Network.Kind {
+		case "heterogeneous", "shuffled":
+			if r.Network.Seed == nil {
+				r.Network.Seed = i64Ptr(r.Seed)
+			}
+			if r.Network.PeriodSecs == 0 {
+				r.Network.PeriodSecs = DefaultSlowPeriod
+			}
+			if r.Network.HorizonSecs == 0 {
+				r.Network.HorizonSecs = DefaultHorizon
+			}
+		}
+		if r.Topology == nil {
+			r.Topology = &TopologySpec{}
+		}
+		if r.Topology.Kind == "" {
+			if r.Network.Kind == "cross-region" {
+				r.Topology.Kind = "cross-region"
+			} else {
+				r.Topology.Kind = "paper-cluster"
+			}
+		}
+		if r.Failures != nil {
+			if r.Failures.DetectSecs == 0 {
+				r.Failures.DetectSecs = simnet.DefaultDetectSecs
+			}
+			if rc := r.Failures.RandomChurn; rc != nil && rc.Seed == nil {
+				rc.Seed = i64Ptr(r.Seed)
+			}
+		}
+		if r.Compute != nil && r.Compute.Kind == "lognormal" && r.Compute.Seed == nil {
+			r.Compute.Seed = i64Ptr(r.Seed)
+		}
+		if usesMonitor(r.Algorithm) {
+			if r.NetMax == nil {
+				r.NetMax = &NetMaxSpec{}
+			}
+			nm := r.NetMax
+			if nm.TsSecs == 0 {
+				nm.TsSecs = DefaultMonitorTs
+			}
+			if nm.Beta == 0 {
+				nm.Beta = 0.5
+			}
+			if nm.PolicyRounds == 0 {
+				nm.PolicyRounds = 10
+			}
+			if nm.Epsilon == 0 {
+				nm.Epsilon = 0.01
+			}
+		}
+	}
+	return r
+}
+
+// ApplyQuick returns a copy with the manifest's quick overrides applied and
+// the Quick block cleared, so the resolved form of a quick run stands alone
+// as a reproducible description of what actually ran. Manifests without a
+// Quick block are returned unchanged (already their own quick form).
+func (m *Manifest) ApplyQuick() *Manifest {
+	if m.Quick == nil {
+		return m
+	}
+	r := m.clone()
+	q := r.Quick
+	r.Quick = nil
+	if q.Workers > 0 {
+		r.Workers = q.Workers
+	}
+	if q.Epochs > 0 {
+		r.Epochs = q.Epochs
+	}
+	if r.Live != nil || r.Runtime == "live" {
+		if r.Live == nil {
+			r.Live = &LiveSpec{}
+		}
+		if q.Iterations > 0 {
+			r.Live.Iterations = q.Iterations
+			r.Live.DurationSecs = 0
+		}
+		if q.DurationSecs > 0 {
+			r.Live.DurationSecs = q.DurationSecs
+			if q.Iterations == 0 {
+				r.Live.Iterations = 0
+			}
+		}
+	}
+	return r
+}
+
+func defaultAlgorithm(runtime string) string {
+	_ = runtime
+	return DefaultAlgorithm
+}
+
+// usesMonitor reports whether the algorithm consumes the NetMax spec.
+func usesMonitor(algo string) bool {
+	return algo == "netmax" || algo == "adpsgd-monitor"
+}
+
+var engineAlgorithms = []string{
+	"netmax", "adpsgd", "adpsgd-monitor", "gossip", "saps", "dlion",
+	"hop", "allreduce", "dpsgd", "prague", "ps-sync", "ps-async",
+}
+
+func knownEngineAlgorithm(a string) bool {
+	for _, k := range engineAlgorithms {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+// expandPreset replaces a partition preset with its concrete table.
+func expandPreset(p *PartitionSpec) {
+	switch p.Preset {
+	case "paper-8":
+		p.Kind, p.Segments = "segments", data.PaperSegments8()
+	case "paper-16":
+		p.Kind, p.Segments = "segments", data.PaperSegments16()
+	case "table-4":
+		p.Kind, p.LostLabels = "label-skew", data.TableIVSkew()
+	case "table-7":
+		p.Kind, p.LostLabels = "label-skew", data.TableVIISkew()
+	default:
+		return
+	}
+	p.Preset = ""
+}
+
+// errorList collects validation problems so a malformed manifest reports
+// everything wrong with it at once.
+type errorList struct {
+	name  string
+	probs []string
+}
+
+func (e *errorList) addf(format string, args ...interface{}) {
+	e.probs = append(e.probs, fmt.Sprintf(format, args...))
+}
+
+func (e *errorList) err() error {
+	if len(e.probs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("scenario %q: %s", e.name, strings.Join(e.probs, "; "))
+}
+
+// Validate checks the manifest for structural and cross-field consistency.
+// Validation operates on the resolved view, so a manifest is valid exactly
+// when its resolved form is runnable; the quick overrides are checked too.
+func (m *Manifest) Validate() error {
+	if err := m.validateOne(); err != nil {
+		return err
+	}
+	if m.Quick != nil {
+		if err := m.ApplyQuick().validateOne(); err != nil {
+			return fmt.Errorf("%w (with quick overrides applied)", err)
+		}
+	}
+	return nil
+}
+
+func (m *Manifest) validateOne() error {
+	e := &errorList{name: m.Name}
+	if m.Name == "" {
+		e.addf("name must be non-empty")
+	}
+	if strings.ContainsAny(m.Name, "/\\") {
+		e.addf("name must not contain path separators")
+	}
+	switch m.Runtime {
+	case "", "engine", "live":
+	default:
+		e.addf("unknown runtime %q (want engine or live)", m.Runtime)
+		return e.err()
+	}
+	r := m.Resolved()
+	if _, err := nn.SpecByName(r.Model); err != nil {
+		e.addf("unknown model %q", r.Model)
+	}
+	if _, err := data.SpecByName(r.Dataset); err != nil {
+		e.addf("unknown dataset %q", r.Dataset)
+	}
+	if r.Workers < 2 {
+		e.addf("workers must be >= 2, got %d", r.Workers)
+	}
+	if r.Batch < 1 {
+		e.addf("batch must be >= 1, got %d", r.Batch)
+	}
+	if r.LR <= 0 {
+		e.addf("lr must be positive, got %g", r.LR)
+	}
+	if r.Parallelism < 0 {
+		e.addf("parallelism must be >= 0, got %d", r.Parallelism)
+	}
+	if r.HopStaleness < 0 {
+		e.addf("hop_staleness must be >= 0, got %d", r.HopStaleness)
+	}
+	if r.HopStaleness > 0 && r.Algorithm != "hop" {
+		e.addf("hop_staleness is only valid with algorithm \"hop\" (got %q)", r.Algorithm)
+	}
+	if q := m.Quick; q != nil {
+		if q.Workers < 0 {
+			e.addf("quick.workers must be >= 0, got %d", q.Workers)
+		}
+		if q.Epochs < 0 {
+			e.addf("quick.epochs must be >= 0, got %d", q.Epochs)
+		}
+		if q.Iterations < 0 {
+			e.addf("quick.iterations must be >= 0, got %d", q.Iterations)
+		}
+		if q.DurationSecs < 0 {
+			e.addf("quick.duration_secs must be >= 0, got %g", q.DurationSecs)
+		}
+	}
+	validatePartition(e, r)
+	validateCodec(e, r)
+	if r.Runtime == "live" {
+		validateLive(e, m, r)
+	} else {
+		validateEngine(e, m, r)
+	}
+	return e.err()
+}
+
+func validatePartition(e *errorList, r *Manifest) {
+	p := r.Partition
+	if p.Preset != "" {
+		e.addf("unknown partition preset %q (want paper-8, paper-16, table-4 or table-7)", p.Preset)
+		return
+	}
+	switch p.Kind {
+	case "uniform":
+		if len(p.Segments) > 0 || len(p.LostLabels) > 0 {
+			e.addf("uniform partition takes no segments or lost_labels")
+		}
+	case "segments":
+		if len(p.Segments) != r.Workers {
+			e.addf("partition segments has %d entries, want one per worker (%d)", len(p.Segments), r.Workers)
+		}
+		for i, s := range p.Segments {
+			if s <= 0 {
+				e.addf("partition segment %d must be positive, got %d", i, s)
+			}
+		}
+	case "label-skew":
+		if len(p.LostLabels) != r.Workers {
+			e.addf("partition lost_labels has %d entries, want one per worker (%d)", len(p.LostLabels), r.Workers)
+		}
+		if ds, err := data.SpecByName(r.Dataset); err == nil {
+			for w, lost := range p.LostLabels {
+				for _, l := range lost {
+					if l < 0 || l >= ds.Classes {
+						e.addf("partition lost_labels[%d] names class %d outside %s's %d classes", w, l, r.Dataset, ds.Classes)
+					}
+				}
+			}
+		}
+	default:
+		e.addf("unknown partition kind %q (want uniform, segments or label-skew)", p.Kind)
+	}
+}
+
+func validateCodec(e *errorList, r *Manifest) {
+	c := r.Codec
+	if c == nil {
+		return
+	}
+	switch c.Name {
+	case "raw", "float32":
+		if c.TopKFrac != 0 {
+			e.addf("topk_frac is only valid with the topk codec")
+		}
+	case "topk":
+		if c.TopKFrac <= 0 || c.TopKFrac > 1 {
+			e.addf("topk_frac must be in (0, 1], got %g", c.TopKFrac)
+		}
+	default:
+		e.addf("unknown codec %q (want %s)", c.Name, strings.Join(codec.Names(), ", "))
+	}
+}
+
+func validateEngine(e *errorList, m, r *Manifest) {
+	if m.Live != nil {
+		e.addf("live block is only valid with runtime \"live\"")
+	}
+	if !knownEngineAlgorithm(r.Algorithm) {
+		e.addf("unknown algorithm %q (want one of %s)", r.Algorithm, strings.Join(engineAlgorithms, ", "))
+	}
+	if r.NetMax != nil && !usesMonitor(r.Algorithm) {
+		e.addf("netmax block is only valid with algorithms netmax and adpsgd-monitor (got %q)", r.Algorithm)
+	}
+	if r.Epochs < 1 {
+		e.addf("epochs must be >= 1, got %d", r.Epochs)
+	}
+	if r.LRDecayEpoch < 0 {
+		e.addf("lr_decay_epoch must be >= 0, got %d", r.LRDecayEpoch)
+	}
+	validateTopologyNetwork(e, r)
+	validateCompute(e, r)
+	validateFailures(e, r)
+	if nm := r.NetMax; nm != nil {
+		if nm.TsSecs <= 0 {
+			e.addf("netmax.ts_secs must be positive, got %g", nm.TsSecs)
+		}
+		if nm.Beta <= 0 || nm.Beta >= 1 {
+			e.addf("netmax.beta must be in (0, 1), got %g", nm.Beta)
+		}
+		if nm.PolicyRounds < 1 {
+			e.addf("netmax.policy_rounds must be >= 1, got %d", nm.PolicyRounds)
+		}
+		if nm.Epsilon <= 0 {
+			e.addf("netmax.epsilon must be positive, got %g", nm.Epsilon)
+		}
+		if nm.StalePeriods < 0 {
+			e.addf("netmax.stale_periods must be >= 0, got %d", nm.StalePeriods)
+		}
+		if nm.FixedBlend && r.Algorithm == "adpsgd-monitor" {
+			e.addf("netmax.fixed_blend is implied by algorithm adpsgd-monitor; drop it")
+		}
+	}
+}
+
+func validateTopologyNetwork(e *errorList, r *Manifest) {
+	t, n := r.Topology, r.Network
+	switch n.Kind {
+	case "heterogeneous", "shuffled":
+		if n.PeriodSecs <= 0 {
+			e.addf("network.period_secs must be positive, got %g", n.PeriodSecs)
+		}
+		if n.HorizonSecs <= 0 {
+			e.addf("network.horizon_secs must be positive, got %g", n.HorizonSecs)
+		}
+	case "homogeneous", "static":
+		if n.PeriodSecs != 0 || n.HorizonSecs != 0 || n.Seed != nil {
+			e.addf("network kind %q has no dynamics: drop period_secs/horizon_secs/seed", n.Kind)
+		}
+	case "cross-region":
+		if r.Workers != len(simnet.Regions) {
+			e.addf("cross-region network fixes workers to %d regions, got %d", len(simnet.Regions), r.Workers)
+		}
+		if t.Kind != "cross-region" {
+			e.addf("cross-region network implies cross-region topology, got %q", t.Kind)
+		}
+	default:
+		e.addf("unknown network kind %q (want heterogeneous, homogeneous, static, shuffled or cross-region)", n.Kind)
+	}
+	switch t.Kind {
+	case "paper-cluster", "single-machine", "ring":
+		if len(t.NodesPerMachine) > 0 {
+			e.addf("topology kind %q takes no nodes_per_machine", t.Kind)
+		}
+	case "cluster":
+		if len(t.NodesPerMachine) == 0 {
+			e.addf("topology kind cluster requires nodes_per_machine")
+		}
+		sum := 0
+		for i, c := range t.NodesPerMachine {
+			if c <= 0 {
+				e.addf("nodes_per_machine[%d] must be positive, got %d", i, c)
+			}
+			sum += c
+		}
+		if sum != r.Workers && sum > 0 {
+			e.addf("nodes_per_machine sums to %d, want workers (%d)", sum, r.Workers)
+		}
+	case "cross-region":
+		if n.Kind != "cross-region" {
+			e.addf("cross-region topology requires the cross-region network, got %q", n.Kind)
+		}
+	default:
+		e.addf("unknown topology kind %q (want paper-cluster, single-machine, ring, cluster or cross-region)", t.Kind)
+	}
+}
+
+func validateCompute(e *errorList, r *Manifest) {
+	c := r.Compute
+	if c == nil {
+		return
+	}
+	switch c.Kind {
+	case "explicit":
+		if len(c.Scale) != r.Workers {
+			e.addf("compute.scale has %d entries, want one per worker (%d)", len(c.Scale), r.Workers)
+		}
+		for i, s := range c.Scale {
+			if s <= 0 {
+				e.addf("compute.scale[%d] must be positive, got %g", i, s)
+			}
+		}
+	case "straggler":
+		if c.Worker < 0 || c.Worker >= r.Workers {
+			e.addf("compute.worker %d outside [0, %d)", c.Worker, r.Workers)
+		}
+		if c.Factor <= 0 {
+			e.addf("compute.factor must be positive, got %g", c.Factor)
+		}
+	case "linear":
+		if c.Min <= 0 || c.Max < c.Min {
+			e.addf("compute linear ramp requires 0 < min <= max, got min %g max %g", c.Min, c.Max)
+		}
+	case "lognormal":
+		if c.Sigma <= 0 {
+			e.addf("compute.sigma must be positive, got %g", c.Sigma)
+		}
+	default:
+		e.addf("unknown compute kind %q (want explicit, straggler, linear or lognormal)", c.Kind)
+	}
+}
+
+func validateFailures(e *errorList, r *Manifest) {
+	f := r.Failures
+	if f == nil {
+		return
+	}
+	if f.DetectSecs < 0 {
+		e.addf("failures.detect_secs must be >= 0, got %g", f.DetectSecs)
+	}
+	for i, ev := range f.Events {
+		switch ev.Kind {
+		case "crash":
+			if ev.Rejoin <= ev.At {
+				e.addf("failure event %d: crash rejoin (%g) must come after the crash (%g); use kind \"leave\" for a permanent crash", i, ev.Rejoin, ev.At)
+			}
+			checkEventWorker(e, r, i, ev.Worker)
+		case "hang":
+			if ev.Until <= ev.At {
+				e.addf("failure event %d: hang until (%g) must come after at (%g)", i, ev.Until, ev.At)
+			}
+			checkEventWorker(e, r, i, ev.Worker)
+		case "leave":
+			checkEventWorker(e, r, i, ev.Worker)
+		case "blackout":
+			if ev.Until <= ev.At {
+				e.addf("failure event %d: blackout until (%g) must come after at (%g)", i, ev.Until, ev.At)
+			}
+			if ev.A == ev.B {
+				e.addf("failure event %d: blackout endpoints must differ", i)
+			}
+			if ev.A < 0 || ev.A >= r.Workers || ev.B < 0 || ev.B >= r.Workers {
+				e.addf("failure event %d: blackout endpoints (%d, %d) outside [0, %d)", i, ev.A, ev.B, r.Workers)
+			}
+		default:
+			e.addf("failure event %d: unknown kind %q (want crash, hang, leave or blackout)", i, ev.Kind)
+		}
+		if ev.At < 0 {
+			e.addf("failure event %d: at must be >= 0, got %g", i, ev.At)
+		}
+	}
+	if rc := f.RandomChurn; rc != nil {
+		if rc.HorizonSecs <= 0 {
+			e.addf("random_churn.horizon_secs must be positive, got %g", rc.HorizonSecs)
+		}
+		if rc.CrashesPerWorker <= 0 {
+			e.addf("random_churn.crashes_per_worker must be positive, got %g", rc.CrashesPerWorker)
+		}
+		if rc.MeanDownSecs <= 0 {
+			e.addf("random_churn.mean_down_secs must be positive, got %g", rc.MeanDownSecs)
+		}
+	}
+}
+
+func checkEventWorker(e *errorList, r *Manifest, i, w int) {
+	if w < 0 || w >= r.Workers {
+		e.addf("failure event %d: worker %d outside [0, %d)", i, w, r.Workers)
+	}
+}
+
+func validateLive(e *errorList, m, r *Manifest) {
+	engineOnly := []struct {
+		field string
+		set   bool
+	}{
+		{"topology", m.Topology != nil},
+		{"network", m.Network != nil},
+		{"compute", m.Compute != nil},
+		{"failures", m.Failures != nil},
+		{"netmax", m.NetMax != nil},
+		{"epochs", m.Epochs != 0},
+		{"lr_decay_epoch", m.LRDecayEpoch != 0},
+		{"overlap", m.Overlap != nil},
+		{"parallelism", m.Parallelism != 0},
+	}
+	for _, f := range engineOnly {
+		if f.set {
+			e.addf("%s is engine-only (runtime is live; use the live block)", f.field)
+		}
+	}
+	if r.Algorithm != "netmax" {
+		e.addf("live runtime runs the NetMax group (algorithm %q unsupported; use live.uniform for AD-PSGD-style selection)", r.Algorithm)
+	}
+	if r.Partition.Kind == "segments" {
+		e.addf("segments partition is engine-only (live workers share one batch size)")
+	}
+	l := r.Live
+	if l.Transport != "local" && l.Transport != "tcp" {
+		e.addf("unknown live transport %q (want local or tcp)", l.Transport)
+	}
+	if l.TsMillis <= 0 {
+		e.addf("live.ts_millis must be positive, got %d", l.TsMillis)
+	}
+	if l.DurationSecs < 0 {
+		e.addf("live.duration_secs must be >= 0, got %g", l.DurationSecs)
+	}
+	if l.Iterations < 0 {
+		e.addf("live.iterations must be >= 0, got %d", l.Iterations)
+	}
+	if l.DurationSecs == 0 && l.Iterations == 0 {
+		e.addf("live runs need a bound: set duration_secs or iterations")
+	}
+	if l.Latency != nil {
+		if l.Transport != "local" {
+			e.addf("live.latency injection requires the local transport")
+		}
+		if l.Latency.Colocated < 0 || l.Latency.Colocated > r.Workers {
+			e.addf("live.latency.colocated %d outside [0, %d]", l.Latency.Colocated, r.Workers)
+		}
+		if l.Latency.IntraMillis < 0 || l.Latency.InterMillis < 0 {
+			e.addf("live.latency millis must be >= 0")
+		}
+	}
+	for i, ev := range l.Churn {
+		if ev.Worker < 0 || ev.Worker >= r.Workers {
+			e.addf("live churn event %d: worker %d outside [0, %d)", i, ev.Worker, r.Workers)
+		}
+		if ev.AtSecs < 0 {
+			e.addf("live churn event %d: at_secs must be >= 0, got %g", i, ev.AtSecs)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// minimal returns the smallest interesting engine manifest: quick to run,
+// exercising the default path.
+func minimal() *Manifest {
+	return &Manifest{
+		Name:    "t-minimal",
+		Model:   "MobileNet",
+		Dataset: "MNIST",
+		Workers: 4,
+		Epochs:  2,
+		Network: &NetworkSpec{Kind: "static"},
+	}
+}
+
+// TestResolvedFixedPoint checks that resolving is idempotent and that a
+// resolved manifest survives a marshal/parse round trip unchanged:
+// Load(Resolved(m)) is a fixed point.
+func TestResolvedFixedPoint(t *testing.T) {
+	cases := []*Manifest{
+		minimal(),
+		{Name: "t-defaults"},
+		{
+			Name: "t-full", Algorithm: "adpsgd-monitor", Model: "VGG19", Dataset: "CIFAR100",
+			Workers: 8, Epochs: 3, Batch: 8, LR: 0.05, LRDecayEpoch: 2, Seed: 9,
+			Topology: &TopologySpec{Kind: "cluster", NodesPerMachine: []int{4, 4}},
+			Network:  &NetworkSpec{Kind: "shuffled", PeriodSecs: 3},
+			Compute:  &ComputeSpec{Kind: "straggler", Worker: 3, Factor: 5},
+			Codec:    &CodecSpec{Name: "topk"},
+			Failures: &FailureSpec{Events: []FailureEvent{{Kind: "crash", Worker: 1, At: 5, Rejoin: 9}}},
+			NetMax:   &NetMaxSpec{StalePeriods: 2},
+			Output:   &OutputSpec{Curves: true},
+		},
+		{
+			Name: "t-preset", Dataset: "MNIST",
+			Partition: &PartitionSpec{Preset: "paper-8"},
+		},
+		{
+			Name: "t-live", Runtime: "live", Model: "MobileNet", Dataset: "MNIST",
+			Live: &LiveSpec{Iterations: 10, Latency: &LatencySpec{Colocated: 2, IntraMillis: 1, InterMillis: 6}},
+		},
+		{
+			Name: "t-churn", Workers: 4, Network: &NetworkSpec{Kind: "homogeneous"},
+			Failures: &FailureSpec{RandomChurn: &RandomChurnSpec{HorizonSecs: 100, CrashesPerWorker: 2, MeanDownSecs: 5}},
+		},
+	}
+	for _, m := range cases {
+		t.Run(m.Name, func(t *testing.T) {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			r := m.Resolved()
+			if !reflect.DeepEqual(r, r.Resolved()) {
+				t.Fatalf("Resolved not idempotent:\n%+v\nvs\n%+v", r, r.Resolved())
+			}
+			raw, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back, err := Parse(raw)
+			if err != nil {
+				t.Fatalf("Parse(Resolved(m)): %v", err)
+			}
+			if !reflect.DeepEqual(r, back.Resolved()) {
+				t.Fatalf("Load(Resolved(m)) is not a fixed point:\n%s\nresolved to\n%+v\nwant\n%+v", raw, back.Resolved(), r)
+			}
+			if !reflect.DeepEqual(back, back.Resolved()) {
+				t.Fatalf("parsed resolved manifest re-resolves differently")
+			}
+		})
+	}
+}
+
+// TestValidateRejectsMalformed is the malformed-manifest table: every entry
+// must fail Parse with a message containing the fragment.
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name     string
+		raw      string
+		fragment string
+	}{
+		{"unknown field", `{"name": "x", "wrkers": 4}`, "wrkers"},
+		{"trailing data", `{"name": "x"} {"name": "y"}`, "trailing data"},
+		{"empty name", `{}`, "name must be non-empty"},
+		{"bad runtime", `{"name": "x", "runtime": "simulated"}`, "unknown runtime"},
+		{"bad algorithm", `{"name": "x", "algorithm": "sgd"}`, "unknown algorithm"},
+		{"bad model", `{"name": "x", "model": "ResNet34"}`, "unknown model"},
+		{"bad dataset", `{"name": "x", "dataset": "SVHN"}`, "unknown dataset"},
+		{"one worker", `{"name": "x", "workers": 1}`, "workers must be >= 2"},
+		{"bad topology kind", `{"name": "x", "topology": {"kind": "torus"}}`, "unknown topology kind"},
+		{"cluster sum mismatch", `{"name": "x", "workers": 8, "topology": {"kind": "cluster", "nodes_per_machine": [4, 3]}}`, "sums to 7"},
+		{"crash after rejoin", `{"name": "x", "failures": {"events": [{"kind": "crash", "worker": 1, "at": 9, "rejoin": 5}]}}`, "must come after the crash"},
+		{"hang without until", `{"name": "x", "failures": {"events": [{"kind": "hang", "worker": 1, "at": 9}]}}`, "must come after at"},
+		{"blackout self-loop", `{"name": "x", "failures": {"events": [{"kind": "blackout", "a": 2, "b": 2, "at": 1, "until": 2}]}}`, "endpoints must differ"},
+		{"failure worker range", `{"name": "x", "workers": 4, "failures": {"events": [{"kind": "leave", "worker": 7, "at": 1}]}}`, "outside [0, 4)"},
+		{"unknown codec", `{"name": "x", "codec": {"name": "zstd"}}`, "unknown codec"},
+		{"topk frac range", `{"name": "x", "codec": {"name": "topk", "topk_frac": 1.5}}`, "topk_frac"},
+		{"topk frac on raw", `{"name": "x", "codec": {"name": "raw", "topk_frac": 0.5}}`, "only valid with the topk codec"},
+		{"segments mismatch", `{"name": "x", "workers": 4, "partition": {"kind": "segments", "segments": [1, 2]}}`, "want one per worker"},
+		{"bad preset", `{"name": "x", "partition": {"preset": "paper-32"}}`, "unknown partition preset"},
+		{"skew class range", `{"name": "x", "workers": 2, "dataset": "MNIST", "partition": {"kind": "label-skew", "lost_labels": [[11], []]}}`, "outside MNIST's 10 classes"},
+		{"cross-region workers", `{"name": "x", "workers": 8, "network": {"kind": "cross-region"}}`, "fixes workers to 6"},
+		{"static with dynamics", `{"name": "x", "network": {"kind": "static", "period_secs": 5}}`, "no dynamics"},
+		{"hop staleness misuse", `{"name": "x", "hop_staleness": 4}`, "only valid with algorithm"},
+		{"netmax block misuse", `{"name": "x", "algorithm": "adpsgd", "netmax": {"ts_secs": 1}}`, "netmax block is only valid"},
+		{"compute scale mismatch", `{"name": "x", "workers": 4, "compute": {"kind": "explicit", "scale": [1, 2]}}`, "want one per worker"},
+		{"straggler range", `{"name": "x", "workers": 4, "compute": {"kind": "straggler", "worker": 6, "factor": 5}}`, "outside [0, 4)"},
+		{"live without bound", `{"name": "x", "runtime": "live", "live": {}}`, "need a bound"},
+		{"live with engine block", `{"name": "x", "runtime": "live", "epochs": 4, "live": {"iterations": 5}}`, "engine-only"},
+		{"engine with live block", `{"name": "x", "live": {"iterations": 5}}`, "only valid with runtime"},
+		{"live bad transport", `{"name": "x", "runtime": "live", "live": {"iterations": 5, "transport": "udp"}}`, "unknown live transport"},
+		{"live segments", `{"name": "x", "runtime": "live", "workers": 2, "partition": {"kind": "segments", "segments": [1, 2]}, "live": {"iterations": 5}}`, "engine-only"},
+		{"quick breaks cluster", `{"name": "x", "workers": 8, "topology": {"kind": "cluster", "nodes_per_machine": [4, 4]}, "quick": {"workers": 4}}`, "quick overrides"},
+		{"bad quick", `{"name": "x", "quick": {"epochs": -1}}`, "epochs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.raw))
+			if err == nil {
+				t.Fatalf("Parse accepted malformed manifest %s", c.raw)
+			}
+			if !strings.Contains(err.Error(), c.fragment) {
+				t.Fatalf("error %q does not mention %q", err, c.fragment)
+			}
+		})
+	}
+}
+
+// TestScenarioLibraryValidates loads every checked-in manifest under
+// scenarios/, validates it, checks its name matches its filename, and
+// verifies the resolved round-trip fixed point on real files.
+func TestScenarioLibraryValidates(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	seen := 0
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		seen++
+		path := filepath.Join(dir, ent.Name())
+		t.Run(ent.Name(), func(t *testing.T) {
+			m, err := Load(path)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if want := strings.TrimSuffix(ent.Name(), ".json"); m.Name != want {
+				t.Errorf("manifest name %q does not match filename %q", m.Name, want)
+			}
+			if m.Description == "" {
+				t.Errorf("manifest %s has no description", ent.Name())
+			}
+			r := m.Resolved()
+			raw, _ := json.MarshalIndent(r, "", "  ")
+			back, err := Parse(raw)
+			if err != nil {
+				t.Fatalf("Parse(Resolved): %v", err)
+			}
+			if !reflect.DeepEqual(r, back.Resolved()) {
+				t.Fatalf("resolved round trip differs for %s", ent.Name())
+			}
+		})
+	}
+	if seen < 10 {
+		t.Fatalf("scenario library has only %d manifests; the checked-in set should cover the paper's figures plus the churn/compression/cross-region matrices", seen)
+	}
+}
+
+// TestApplyQuick checks override application and clearing.
+func TestApplyQuick(t *testing.T) {
+	m := minimal()
+	m.Quick = &QuickSpec{Workers: 2, Epochs: 1}
+	q := m.ApplyQuick()
+	if q.Workers != 2 || q.Epochs != 1 {
+		t.Fatalf("quick overrides not applied: %+v", q)
+	}
+	if q.Quick != nil {
+		t.Fatalf("quick block survived ApplyQuick")
+	}
+	if m.Workers != 4 || m.Epochs != 2 {
+		t.Fatalf("ApplyQuick mutated the original")
+	}
+	if again := q.ApplyQuick(); !reflect.DeepEqual(q, again) {
+		// Second application is the identity (no Quick block left).
+		t.Fatalf("ApplyQuick not idempotent after clearing: %+v vs %+v", q, again)
+	}
+}
+
+// TestRunEmitsResolvedManifest runs a tiny scenario with an output
+// directory and checks the reproducibility contract: resolved.json +
+// result.json are written, the resolved manifest re-loads cleanly, and
+// re-running it reproduces the numbers bitwise.
+func TestRunEmitsResolvedManifest(t *testing.T) {
+	m := minimal()
+	m.Output = &OutputSpec{Curves: true}
+	out := t.TempDir()
+	rep, err := Run(m, RunOptions{OutDir: out})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Engine == nil {
+		t.Fatalf("engine scenario returned no engine result")
+	}
+	dir := filepath.Join(out, m.Name)
+	if rep.Dir != dir {
+		t.Fatalf("Report.Dir = %q, want %q", rep.Dir, dir)
+	}
+	for _, f := range []string{"resolved.json", "result.json", "curve.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("expected output %s: %v", f, err)
+		}
+	}
+	back, err := Load(filepath.Join(dir, "resolved.json"))
+	if err != nil {
+		t.Fatalf("emitted resolved manifest does not reload: %v", err)
+	}
+	rep2, err := Run(back, RunOptions{})
+	if err != nil {
+		t.Fatalf("re-running resolved manifest: %v", err)
+	}
+	a, b := rep.Engine, rep2.Engine
+	if a.FinalLoss != b.FinalLoss || a.FinalAccuracy != b.FinalAccuracy ||
+		a.TotalTime != b.TotalTime || a.GlobalSteps != b.GlobalSteps || a.BytesSent != b.BytesSent {
+		t.Fatalf("resolved manifest does not reproduce the run: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunLive exercises the live runtime end to end on the in-process
+// transport.
+func TestRunLive(t *testing.T) {
+	m := &Manifest{
+		Name: "t-live-run", Runtime: "live", Model: "MobileNet", Dataset: "MNIST",
+		Workers: 2,
+		Live:    &LiveSpec{Iterations: 5, TsMillis: 50},
+	}
+	rep, err := Run(m, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Live == nil {
+		t.Fatalf("live scenario returned no live stats")
+	}
+	total := 0
+	for _, n := range rep.Live.IterationsPerWorker {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("expected 2 workers x 5 iterations, got %v", rep.Live.IterationsPerWorker)
+	}
+}

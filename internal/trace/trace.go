@@ -74,6 +74,7 @@ type ResultJSON struct {
 	GlobalSteps   int            `json:"global_steps"`
 	CompSecs      float64        `json:"comp_seconds"`
 	CommSecs      float64        `json:"comm_seconds"`
+	BytesSent     int64          `json:"bytes_sent"`
 	Epochs        int            `json:"epochs"`
 }
 
@@ -90,6 +91,7 @@ func WriteResultJSON(w io.Writer, r *engine.Result) error {
 		GlobalSteps:   r.GlobalSteps,
 		CompSecs:      r.CompSecs,
 		CommSecs:      r.CommSecs,
+		BytesSent:     r.BytesSent,
 		Epochs:        r.Epochs,
 	})
 }
@@ -110,6 +112,7 @@ func ReadResultJSON(r io.Reader) (*engine.Result, error) {
 		GlobalSteps:   rj.GlobalSteps,
 		CompSecs:      rj.CompSecs,
 		CommSecs:      rj.CommSecs,
+		BytesSent:     rj.BytesSent,
 		Epochs:        rj.Epochs,
 	}, nil
 }

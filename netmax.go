@@ -39,6 +39,7 @@ import (
 	"netmax/internal/experiments"
 	"netmax/internal/nn"
 	"netmax/internal/policy"
+	"netmax/internal/scenario"
 	"netmax/internal/simnet"
 )
 
@@ -191,4 +192,31 @@ func GeneratePolicy(times [][]float64, adj [][]bool, alpha float64) (*Policy, er
 // tab3, tab5, abl-*); see cmd/netmax-bench -list.
 func Experiment(id string, seed int64, quick bool) (*experiments.Result, error) {
 	return experiments.Run(id, experiments.Options{Seed: seed, Quick: quick})
+}
+
+// Scenario is a declarative manifest fully describing a run — runtime,
+// algorithm, topology, network dynamics, partitioning, heterogeneity,
+// failure schedule, codec, seeds. See internal/scenario and the checked-in
+// library under scenarios/.
+type Scenario = scenario.Manifest
+
+// ScenarioReport is the outcome of one scenario run: the resolved manifest
+// that actually ran plus the engine result or live stats.
+type ScenarioReport = scenario.Report
+
+// ScenarioRunOptions tunes RunScenario (quick overrides, output directory).
+type ScenarioRunOptions = scenario.RunOptions
+
+// LoadScenario reads, parses and validates a scenario manifest file;
+// ParseScenario does the same from bytes. Both reject unknown fields.
+var (
+	LoadScenario  = scenario.Load
+	ParseScenario = scenario.Parse
+)
+
+// RunScenario executes a manifest end to end and, when an output directory
+// is configured, writes the fully-resolved manifest next to the results so
+// the run is reproducible from one file.
+func RunScenario(m *Scenario, opt ScenarioRunOptions) (*ScenarioReport, error) {
+	return scenario.Run(m, opt)
 }
