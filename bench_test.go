@@ -229,7 +229,7 @@ func BenchmarkFig19CrossRegion(b *testing.B) {
 }
 
 // BenchmarkAblationBlendWeight measures the 1/p-scaled vs fixed blend
-// ablation (DESIGN.md §5).
+// ablation (the algorithmic delta between NetMax and AD-PSGD+Monitor).
 func BenchmarkAblationBlendWeight(b *testing.B) {
 	benchExperiment(b, "abl-blend")
 }

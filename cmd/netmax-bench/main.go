@@ -103,6 +103,10 @@ func main() {
 				os.Exit(2)
 			}
 		})
+		if raw, err := os.ReadFile(*scen); err == nil && scenario.IsSuite(raw) {
+			fmt.Fprintln(os.Stderr, "error: netmax-bench runs single-run manifests; use netmax-scenario run for suite files")
+			os.Exit(2)
+		}
 		m, err := scenario.Load(*scen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -112,9 +116,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error: netmax-bench runs engine-runtime scenarios; use netmax-live -scenario (or netmax-scenario run) for live manifests")
 			os.Exit(2)
 		}
-		if *par > 0 {
-			m.Parallelism = *par
-		}
+		// -par already pins host parallelism process-wide (DefaultParallelism
+		// above); the manifest stays untouched so the emitted resolved.json —
+		// and any reproducibility diff over it — is identical at any -par.
 		rep, err := scenario.Run(m, scenario.RunOptions{Quick: *quick, OutDir: *scenOut})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -35,6 +35,10 @@ import (
 // runScenario executes a live-runtime manifest and prints the same stats
 // block as the flag path.
 func runScenario(path string, quick bool, out string) {
+	if raw, err := os.ReadFile(path); err == nil && scenario.IsSuite(raw) {
+		fmt.Fprintln(os.Stderr, "error: netmax-live runs single-run manifests; use netmax-scenario run for suite files")
+		os.Exit(2)
+	}
 	m, err := scenario.Load(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

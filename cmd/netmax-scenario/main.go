@@ -1,21 +1,25 @@
 // Command netmax-scenario runs, validates and lists declarative scenario
-// manifests (internal/scenario): JSON documents that fully describe a
-// training run — runtime, algorithm, topology, network dynamics, data
-// partitioning, heterogeneity, failure schedule, codec, seeds — so that
-// scenarios are data instead of code. The checked-in library lives under
-// scenarios/.
+// manifests and suites (internal/scenario): JSON documents that fully
+// describe a training run — runtime, algorithm, topology, network dynamics,
+// data partitioning, heterogeneity, failure schedule, codec, seeds — or a
+// whole comparison (a suite: N runs expanded from algorithm/codec arms and
+// replication seeds, summarized in one joint table). Scenarios are data
+// instead of code; the checked-in library lives under scenarios/.
 //
 //	netmax-scenario list ./scenarios
 //	netmax-scenario validate ./scenarios/...
 //	netmax-scenario run scenarios/churn-crash-rejoin.json
 //	netmax-scenario run -quick -out runs scenarios/compression-topk25.json
-//	netmax-scenario run -quick scenarios/cluster-resnet18-cifar10.json scenarios/crossregion-mobilenet.json
+//	netmax-scenario run -quick -par 2 scenarios/suite-cluster-comparison.json
 //
 // Every run writes its fully-resolved manifest (every default made
 // explicit) next to its results — <out>/<name>/resolved.json — so any
-// reported number is reproducible from one file:
+// reported number is reproducible from one file; a suite run additionally
+// writes <out>/<suite>/resolved-suite.json (the explicit run list) and
+// <out>/<suite>/suite.json (the per-arm mean +/- stddev table):
 //
 //	netmax-scenario run runs/churn-crash-rejoin/resolved.json
+//	netmax-scenario run runs/suite-cluster-comparison/resolved-suite.json
 package main
 
 import (
@@ -26,13 +30,14 @@ import (
 	"path/filepath"
 	"strings"
 
+	"netmax/internal/engine"
 	"netmax/internal/scenario"
 	"netmax/internal/tensor"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  netmax-scenario run [-quick] [-out dir] [-par n] <manifest.json>...
+  netmax-scenario run [-quick] [-out dir] [-par n] <manifest-or-suite.json>...
   netmax-scenario validate <file|dir|dir/...>...
   netmax-scenario list <file|dir|dir/...>...
 `)
@@ -102,20 +107,40 @@ func runCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "error: -par must be >= 0")
 		os.Exit(2)
 	}
+	// -par pins host concurrency process-wide (tensor sharding, engine
+	// worker stepping, the suite driver) without touching the manifests, so
+	// emitted resolved manifests — and therefore the reproducibility diffs —
+	// are identical at any -par.
 	tensor.SetParallelism(*par)
+	engine.DefaultParallelism = *par
 	paths, err := expand(fl.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 	for _, path := range paths {
-		m, err := scenario.Load(path)
+		m, s, err := scenario.LoadAny(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if *par > 0 && m.Runtime != "live" {
-			m.Parallelism = *par
+		if s != nil {
+			rep, err := scenario.RunSuite(s, scenario.SuiteRunOptions{Quick: *quick, OutDir: *out, Par: *par})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			for _, r := range rep.Reports {
+				fmt.Println(r.Summary())
+			}
+			if err := rep.Table.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if rep.Dir != "" {
+				fmt.Printf("  outputs: %s (resolved run list + joint table + per-run results)\n", rep.Dir)
+			}
+			continue
 		}
 		rep, err := scenario.Run(m, scenario.RunOptions{Quick: *quick, OutDir: *out})
 		if err != nil {
@@ -140,7 +165,7 @@ func validateCmd(args []string) {
 	}
 	bad := 0
 	for _, path := range paths {
-		if _, err := scenario.Load(path); err != nil {
+		if _, _, err := scenario.LoadAny(path); err != nil {
 			bad++
 			fmt.Fprintf(os.Stderr, "INVALID %s\n  %v\n", path, err)
 			continue
@@ -164,9 +189,19 @@ func listCmd(args []string) {
 		os.Exit(1)
 	}
 	for _, path := range paths {
-		m, err := scenario.Load(path)
+		m, s, err := scenario.LoadAny(path)
 		if err != nil {
 			fmt.Printf("%-34s  (invalid: %v)\n", filepath.Base(path), err)
+			continue
+		}
+		if s != nil {
+			resolved, err := s.Resolve(false)
+			if err != nil {
+				fmt.Printf("%-34s  (invalid: %v)\n", filepath.Base(path), err)
+				continue
+			}
+			kind := fmt.Sprintf("suite/%d runs", len(resolved.Runs))
+			fmt.Printf("%-34s  %-22s  %s\n", s.Name, kind, s.Description)
 			continue
 		}
 		r := m.Resolved()

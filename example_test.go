@@ -99,6 +99,45 @@ func ExampleParseScenario_invalid() {
 	// scenario "bad": failure event 0: crash rejoin (5) must come after the crash (9); use kind "leave" for a permanent crash
 }
 
+// ExampleRunSuite runs a multi-arm, multi-seed comparison from one suite
+// document: a base manifest expanded over two algorithm arms and two
+// replication seeds, summarized per arm in a joint table.
+func ExampleRunSuite() {
+	suite := []byte(`{
+	  "name": "quickcompare",
+	  "base": {"manifest": {
+	    "name": "base",
+	    "model": "MobileNet",
+	    "dataset": "MNIST",
+	    "workers": 4,
+	    "epochs": 2,
+	    "network": {"kind": "static"}
+	  }},
+	  "grid": {
+	    "algorithms": ["netmax", "adpsgd"],
+	    "replicate": {"n": 2}
+	  }
+	}`)
+	s, err := netmax.ParseSuite(suite)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep, err := netmax.RunSuite(s, netmax.SuiteRunOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("runs:", len(rep.Reports))
+	for _, arm := range rep.Table.Arms {
+		fmt.Printf("%s: n=%d, learned=%v\n", arm.Arm, arm.N, arm.FinalLoss.Mean < 0.5)
+	}
+	// Output:
+	// runs: 4
+	// netmax: n=2, learned=true
+	// adpsgd: n=2, learned=true
+}
+
 // ExampleExperiment regenerates a paper figure programmatically.
 func ExampleExperiment() {
 	res, err := netmax.Experiment("fig3", 1, true)

@@ -40,7 +40,8 @@ func main() {
 	for _, r := range runs {
 		cfg := netmax.ClusterConfig(netmax.SimResNet18, train, test, workers, epochs, 1)
 		// Lower LR keeps per-epoch convergence comparable across approaches
-		// on the synthetic substrate (see EXPERIMENTS.md, deviations note 3),
+		// on the synthetic substrate (a documented deviation from the
+		// paper's settings; see docs/ARCHITECTURE.md on the substrate),
 		// so the time-to-loss section isolates the communication effect.
 		cfg.LR = 0.03
 		res := r.f(cfg)

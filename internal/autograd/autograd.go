@@ -5,7 +5,7 @@
 // and a backward closure; Backward performs a topological sort from the loss
 // node and accumulates gradients. This is the same execution model the paper's
 // PyTorch substrate provides, built from scratch because no deep-learning
-// framework is available in the target environment (see DESIGN.md §2).
+// framework is available in the target environment (see docs/ARCHITECTURE.md).
 //
 // Allocation discipline: op outputs, non-leaf gradients and backward-pass
 // temporaries are drawn from the tensor arena (tensor.GetPooled) and handed

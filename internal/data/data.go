@@ -5,7 +5,7 @@
 // datasets are not available in this environment, so each is substituted by a
 // deterministic synthetic Gaussian-cluster dataset with the same number of
 // classes and a feature dimensionality scaled to keep single-CPU training
-// tractable (DESIGN.md §2). The learning dynamics that matter for the
+// tractable (see docs/ARCHITECTURE.md). The learning dynamics that matter for the
 // evaluation — a non-trivial loss surface, stochastic gradients, sensitivity
 // to data skew — are preserved.
 package data

@@ -61,7 +61,7 @@ func runAblSAPS(opt Options) (*Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		"expected: SAPS competitive under static rates, degraded under shuffled rates (its subgraph goes stale)",
-		"measured finding (EXPERIMENTS.md): SAPS degrades ~1.5x as predicted, yet stays ahead of NetMax here: with a third of all links congested, Eq. 10's frequency equalization forces NetMax to keep floor probability on congested links on every row. NetMax's wins (Fig. 5/8) come from the paper's single-slow-link regime, where those floors are nearly free")
+		"measured finding: SAPS degrades ~1.5x as predicted, yet stays ahead of NetMax here: with a third of all links congested, Eq. 10's frequency equalization forces NetMax to keep floor probability on congested links on every row. NetMax's wins (Fig. 5/8) come from the paper's single-slow-link regime, where those floors are nearly free")
 	return res, nil
 }
 

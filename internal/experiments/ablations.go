@@ -22,8 +22,8 @@ func ablConfig(opt Options, epochs int) cfgParams {
 }
 
 // runAblBlend compares Algorithm 2's 1/p_im-scaled blend weight against
-// plain averaging under the same adaptive policy (DESIGN.md §5; this is the
-// algorithmic delta between NetMax and AD-PSGD+Monitor).
+// plain averaging under the same adaptive policy (this is the algorithmic
+// delta between NetMax and AD-PSGD+Monitor).
 func runAblBlend(opt Options) (*Result, error) {
 	epochs := scaleEpochs(30, opt)
 	p := ablConfig(opt, epochs)

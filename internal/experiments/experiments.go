@@ -1,13 +1,13 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section V and Appendices F-G) on the simulated substrate.
 //
-// Each experiment id (fig3, fig5, ..., tab2, ..., fig19, plus the ablations
-// DESIGN.md §5 calls out) maps to a function that builds the paper's
-// workload, runs the compared algorithms on the discrete-event engine, and
-// returns the same rows/series the paper reports. Absolute numbers differ —
-// the substrate is a simulator, not the authors' GPU cluster — but the
-// shapes (who wins, by roughly what factor, where crossovers fall) are the
-// reproduction target; EXPERIMENTS.md records paper-vs-measured for each id.
+// Each experiment id (fig3, fig5, ..., tab2, ..., fig19, plus the abl-*
+// ablations) maps to a function that builds the paper's workload, runs the
+// compared algorithms on the discrete-event engine, and returns the same
+// rows/series the paper reports. Absolute numbers differ — the substrate is
+// a simulator, not the authors' GPU cluster — but the shapes (who wins, by
+// roughly what factor, where crossovers fall) are the reproduction target;
+// each Result carries expected-vs-measured notes inline.
 package experiments
 
 import (

@@ -30,7 +30,7 @@ func segmentsExperiment(id, title string, ds data.Spec, spec nn.ModelSpec, segme
 	// averaging baselines reach the plateau within a couple of epochs,
 	// destroying the "curves coincide per epoch" shape of Fig. 12(a); the
 	// lower rate restores comparable per-epoch convergence for all
-	// approaches (EXPERIMENTS.md, substitutions).
+	// approaches (a documented substitution on the synthetic substrate).
 	p := cfgParams{spec: spec, wl: wl, net: hetNet(workers), epochs: epochs, batch: 8, lr: 0.03,
 		decayAt: epochs * 2 / 3, overlap: true, seed: opt.Seed + 3}
 	res := &Result{

@@ -9,7 +9,7 @@ import (
 // actually train is a small MLP (hidden layout below); the timing quantities
 // — RealParams and ComputeSecs — are taken from the paper's models so that
 // the simulator's communication/computation ratios match the hardware the
-// paper measured (DESIGN.md §2). Communication time for a model transfer is
+// paper measured (see docs/ARCHITECTURE.md). Communication time for a model transfer is
 // proportional to RealParams*4 bytes; computation time per local iteration is
 // ComputeSecs on the reference GPU.
 type ModelSpec struct {

@@ -135,8 +135,8 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	}
 }
 
-// TestScenarioLibraryValidates loads every checked-in manifest under
-// scenarios/, validates it, checks its name matches its filename, and
+// TestScenarioLibraryValidates loads every checked-in manifest and suite
+// under scenarios/, validates it, checks its name matches its filename, and
 // verifies the resolved round-trip fixed point on real files.
 func TestScenarioLibraryValidates(t *testing.T) {
 	dir := filepath.Join("..", "..", "scenarios")
@@ -144,19 +144,53 @@ func TestScenarioLibraryValidates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading %s: %v", dir, err)
 	}
-	seen := 0
+	manifests, suites := 0, 0
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
 			continue
 		}
-		seen++
 		path := filepath.Join(dir, ent.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		if IsSuite(raw) {
+			suites++
+		} else {
+			manifests++
+		}
 		t.Run(ent.Name(), func(t *testing.T) {
-			m, err := Load(path)
+			m, s, err := LoadAny(path)
 			if err != nil {
-				t.Fatalf("Load: %v", err)
+				t.Fatalf("LoadAny: %v", err)
 			}
-			if want := strings.TrimSuffix(ent.Name(), ".json"); m.Name != want {
+			want := strings.TrimSuffix(ent.Name(), ".json")
+			if s != nil {
+				if s.Name != want {
+					t.Errorf("suite name %q does not match filename %q", s.Name, want)
+				}
+				if s.Description == "" {
+					t.Errorf("suite %s has no description", ent.Name())
+				}
+				r, err := s.Resolve(false)
+				if err != nil {
+					t.Fatalf("Resolve: %v", err)
+				}
+				raw, _ := json.MarshalIndent(r, "", "  ")
+				back, err := ParseSuite(raw)
+				if err != nil {
+					t.Fatalf("ParseSuite(Resolve): %v", err)
+				}
+				again, err := back.Resolve(false)
+				if err != nil {
+					t.Fatalf("re-Resolve: %v", err)
+				}
+				if !reflect.DeepEqual(r, again) {
+					t.Fatalf("resolved suite round trip differs for %s", ent.Name())
+				}
+				return
+			}
+			if m.Name != want {
 				t.Errorf("manifest name %q does not match filename %q", m.Name, want)
 			}
 			if m.Description == "" {
@@ -173,8 +207,11 @@ func TestScenarioLibraryValidates(t *testing.T) {
 			}
 		})
 	}
-	if seen < 10 {
-		t.Fatalf("scenario library has only %d manifests; the checked-in set should cover the paper's figures plus the churn/compression/cross-region matrices", seen)
+	if manifests < 10 {
+		t.Fatalf("scenario library has only %d manifests; the checked-in set should cover the paper's figures plus the churn/compression/cross-region matrices", manifests)
+	}
+	if suites < 3 {
+		t.Fatalf("scenario library has only %d suites; the checked-in set should cover the paper comparison, the codec sweep and the multi-seed replication", suites)
 	}
 }
 

@@ -220,3 +220,39 @@ var (
 func RunScenario(m *Scenario, opt ScenarioRunOptions) (*ScenarioReport, error) {
 	return scenario.Run(m, opt)
 }
+
+// Suite is a declarative comparison: one JSON document describing N runs,
+// either an explicit member list or a base manifest expanded over a grid of
+// algorithm arms, codec arms and replication seeds. See internal/scenario
+// and the suite-*.json files under scenarios/.
+type Suite = scenario.Suite
+
+// SuiteReport is the outcome of a suite run: the resolved explicit run
+// list, the per-member reports, and the joint per-arm mean +/- stddev
+// table.
+type SuiteReport = scenario.SuiteReport
+
+// SuiteRunOptions tunes RunSuite (quick overrides, output directory, and
+// the bounded parallelism of the member-run driver).
+type SuiteRunOptions = scenario.SuiteRunOptions
+
+// SuiteTable is the joint comparison table of a suite run (the suite.json
+// schema): one row per arm, metrics summarized as mean +/- sample stddev.
+type SuiteTable = scenario.SuiteTable
+
+// LoadSuite reads, parses and validates a suite file (member paths resolve
+// relative to it); ParseSuite does the same from bytes. Both reject
+// unknown fields and validate every run the suite expands to.
+var (
+	LoadSuite  = scenario.LoadSuite
+	ParseSuite = scenario.ParseSuite
+)
+
+// RunSuite executes a suite end to end under the bounded-parallel driver
+// and, when an output directory is configured, writes the explicit
+// resolved run list (resolved-suite.json) and the joint table (suite.json)
+// next to the per-run outputs, so a multi-arm multi-seed comparison is
+// reproducible — bitwise, on the engine runtime — from one file.
+func RunSuite(s *Suite, opt SuiteRunOptions) (*SuiteReport, error) {
+	return scenario.RunSuite(s, opt)
+}
